@@ -1,0 +1,46 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark target runs one figure driver end-to-end (trace
+generation is cached; simulation is the measured work) and prints the
+regenerated table so a benchmark run doubles as an experiment report.
+
+Scale selection: ``--figure-scale=paper`` reproduces the evaluation at
+full size (minutes); the default ``test`` scale keeps the whole battery
+in CI territory while preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--figure-scale",
+        action="store",
+        default="test",
+        choices=("tiny", "test", "paper"),
+        help="workload scale for figure benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def figure_scale(request):
+    return request.config.getoption("--figure-scale")
+
+
+@pytest.fixture
+def run_figure(benchmark, figure_scale):
+    """Benchmark a figure driver once and print its table."""
+
+    def runner(driver, **kwargs):
+        result = benchmark.pedantic(
+            lambda: driver(scale=figure_scale, **kwargs),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.table())
+        return result
+
+    return runner

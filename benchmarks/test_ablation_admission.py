@@ -1,0 +1,15 @@
+"""Ablation: bounce-back admission policy (paper: admitting every victim
+— so the buffer doubles as a victim cache — beats the "more natural"
+temporal-only admission, probably because of spatial interferences)."""
+
+from repro.experiments.ablations import admission_policy
+from repro.metrics import geometric_mean
+
+
+def test_admission_policy(run_figure):
+    result = run_figure(admission_policy)
+    admit_all = geometric_mean(result.column("admit all victims").values())
+    temporal_only = geometric_mean(
+        result.column("temporal victims only").values()
+    )
+    assert admit_all <= temporal_only * 1.01

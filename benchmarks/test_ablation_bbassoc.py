@@ -1,0 +1,12 @@
+"""Ablation: bounce-back cache associativity (paper: "a 4-way
+bounce-back cache would perform reasonably well")."""
+
+from repro.experiments.ablations import bounce_back_associativity
+from repro.metrics import geometric_mean
+
+
+def test_bounce_back_associativity(run_figure):
+    result = run_figure(bounce_back_associativity)
+    fully = geometric_mean(result.column("fully assoc").values())
+    four_way = geometric_mean(result.column("4-way").values())
+    assert four_way <= fully * 1.08

@@ -1,0 +1,18 @@
+"""Ablation: bounce-back cache size (paper: "small bounce-back caches
+perform nearly as well as large ones")."""
+
+from repro.experiments.ablations import bounce_back_size
+from repro.metrics import geometric_mean
+
+
+def test_bounce_back_size(run_figure):
+    result = run_figure(bounce_back_size)
+    geomeans = {
+        series: geometric_mean(result.column(series).values())
+        for series in result.series
+    }
+    # The paper's 8-line choice is within a few percent of 32 lines.
+    assert geomeans["8 lines"] <= geomeans["32 lines"] * 1.06
+    # And 4 lines is still close (the small-is-fine trade-off: shorter
+    # bounce-back delay vs victim coverage).
+    assert geomeans["4 lines"] <= geomeans["8 lines"] * 1.08

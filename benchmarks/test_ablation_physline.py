@@ -1,0 +1,13 @@
+"""Ablation: 16 B vs 32 B physical lines under software assistance
+(paper: "proved to be similar", enabling a cheaper cache-to-processor
+multiplexer)."""
+
+from repro.experiments.ablations import physical_line
+from repro.metrics import geometric_mean
+
+
+def test_physical_line(run_figure):
+    result = run_figure(physical_line)
+    sixteen = geometric_mean(result.column("LS=16B").values())
+    thirty_two = geometric_mean(result.column("LS=32B").values())
+    assert abs(sixteen - thirty_two) / thirty_two < 0.25

@@ -1,0 +1,21 @@
+"""Figure 1a: reuse-distance distribution of the benchmark suite."""
+
+from repro.experiments.fig01_locality import reuse_distances
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig01a(run_figure):
+    result = run_figure(reuse_distances)
+    assert set(result.rows) == set(BENCHMARK_ORDER)
+    # The paper's observation: a sizable share of data is referenced only
+    # once (compulsory misses matter) on several codes.
+    single_use_heavy = sum(
+        result.value(bench, "no reuse") > 0.2 for bench in BENCHMARK_ORDER
+    )
+    assert single_use_heavy >= 3
+    # ...and reuse distances beyond 10^3 references exist (pollution
+    # threatens temporal reuse).
+    assert any(
+        result.value(bench, "10^3 - 10^4") + result.value(bench, "> 10^4") > 0.1
+        for bench in BENCHMARK_ORDER
+    )

@@ -1,0 +1,16 @@
+"""Figure 1b: vector lengths of per-instruction reference streams."""
+
+from repro.experiments.fig01_locality import vector_lengths
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig01b(run_figure):
+    result = run_figure(vector_lengths)
+    assert set(result.rows) == set(BENCHMARK_ORDER)
+    # The paper's observation: vector lengths often exceed the 32-byte
+    # line of small on-chip caches — unexploited spatial locality.
+    longer_than_a_line = [
+        sum(v for label, v in result.row(bench).items() if label != "<= 32 B")
+        for bench in BENCHMARK_ORDER
+    ]
+    assert sum(fraction > 0.5 for fraction in longer_than_a_line) >= 5

@@ -1,0 +1,21 @@
+"""Figure 3a: efficiency of bypassing (Standard / Bypass / buffer / Soft)."""
+
+from repro.experiments.fig03_pollution import bypass_study
+from repro.metrics import geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig03a(run_figure):
+    result = run_figure(bypass_study)
+
+    def geomean(series):
+        return geometric_mean(result.column(series).values())
+
+    # Plain bypassing is the worst option on average (spatial locality of
+    # non-reusable data pays a round trip per word)...
+    assert geomean("Bypass") > geomean("Standard")
+    # ...the bypass buffer recovers most of it...
+    assert geomean("Bypass buffer") < geomean("Bypass")
+    # ...and the software-assisted design beats all of them.
+    assert geomean("Soft") < geomean("Standard")
+    assert geomean("Soft") < geomean("Bypass buffer")

@@ -1,0 +1,15 @@
+"""Figure 4b: inter-reference time distribution (model round-trip)."""
+
+from repro.experiments.fig04_instrumentation import time_distribution
+from repro.memtrace import FIG4B_DISTRIBUTION
+
+
+def test_fig04b(run_figure):
+    result = run_figure(time_distribution)
+    # The generated traces reproduce the modelled histogram.
+    for row, cells in result.rows.items():
+        assert abs(cells["model"] - cells["generated"]) < 0.02, row
+    # Most consecutive load/stores are 1-2 cycles apart (the paper's
+    # pessimistic 1-cycle-per-instruction accounting).
+    short = result.value("1 cycles", "model") + result.value("2 cycles", "model")
+    assert short > 0.5

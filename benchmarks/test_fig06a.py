@@ -1,0 +1,31 @@
+"""Figure 6a: AMAT under Standard / Temp-only / Spat-only / Soft."""
+
+from repro.experiments.fig06_summary import amat_breakdown
+from repro.metrics import geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig06a(run_figure):
+    result = run_figure(amat_breakdown)
+
+    def geomean(series):
+        return geometric_mean(result.column(series).values())
+
+    # Safety: Soft never loses to Standard on any benchmark.
+    for bench in BENCHMARK_ORDER:
+        assert result.value(bench, "Soft") <= (
+            result.value(bench, "Standard") * 1.001
+        ), bench
+    # Both single mechanisms help on average; the combination is best.
+    assert geomean("Temp only") <= geomean("Standard") + 1e-9
+    assert geomean("Spat only") < geomean("Standard")
+    assert geomean("Soft") <= geomean("Temp only")
+    assert geomean("Soft") <= geomean("Spat only") + 1e-9
+    # The paper's per-benchmark signatures: the bounce-back mechanism
+    # alone profits DYF/MV; virtual lines alone are stronger for NAS.
+    for bench in ("DYF", "MV"):
+        assert result.value(bench, "Temp only") < (
+            result.value(bench, "Standard") * 0.99
+        ), bench
+    nas = result.row("NAS")
+    assert nas["Spat only"] < nas["Temp only"]

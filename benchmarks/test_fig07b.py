@@ -1,0 +1,16 @@
+"""Figure 7b: miss ratios (up to 62% reduction for MV in the paper)."""
+
+from repro.experiments.fig07_traffic_miss import miss_ratios
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig07b(run_figure):
+    result = run_figure(miss_ratios)
+    for bench in BENCHMARK_ORDER:
+        assert result.value(bench, "Soft") <= (
+            result.value(bench, "Standard") * 1.02
+        ), bench
+    # MV: the headline number.
+    mv_standard = result.value("MV", "Standard")
+    mv_soft = result.value("MV", "Soft")
+    assert (mv_standard - mv_soft) / mv_standard > 0.45

@@ -1,0 +1,18 @@
+"""Figure 8a: virtual line size sweep (32-256 B)."""
+
+from repro.experiments.fig08_line_size import virtual_sweep
+from repro.metrics import geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig08a(run_figure):
+    result = run_figure(virtual_sweep)
+
+    def geomean(series):
+        return geometric_mean(result.column(series).values())
+
+    # Enabling virtual lines (64 B vs the 32 B no-op) pays on average...
+    assert geomean("VL=64B") < geomean("VL=32B")
+    # ...and large virtual lines are well tolerated: even 256 B stays far
+    # from the blow-up large *physical* lines exhibit (figure 8b).
+    assert geomean("VL=256B") < geomean("VL=32B") * 1.1

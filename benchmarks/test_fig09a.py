@@ -1,0 +1,26 @@
+"""Figure 9a: % of misses removed, for 8/16/32/64 KB caches."""
+
+from repro.experiments.fig09_size_assoc import cache_size_study
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig09a(run_figure, figure_scale):
+    result = run_figure(cache_size_study)
+    # The mechanism keeps helping at 8 KB everywhere...
+    for bench in BENCHMARK_ORDER:
+        assert result.value(bench, "Cs=8k, Ls=32") > -1.0, bench
+    # ...and the average benefit shrinks as the cache grows (gains fade
+    # once working sets fit; the virtual-line headroom halves at 64 B
+    # physical lines).
+    small = sum(result.value(b, "Cs=8k, Ls=32") for b in BENCHMARK_ORDER)
+    large = sum(result.value(b, "Cs=64k, Ls=64") for b in BENCHMARK_ORDER)
+    assert large < small
+    if figure_scale == "paper":
+        # LIV's working set fits into 16 KB: the benefit shrinks there
+        # (the paper's observation).  Deviation note: our LIV model's
+        # residual misses at >=16 KB are compulsory vector misses, which
+        # virtual lines still halve, so the *percentage* stays higher
+        # than the paper's near-zero — see EXPERIMENTS.md.
+        assert result.value("LIV", "Cs=16k, Ls=64") < (
+            result.value("LIV", "Cs=8k, Ls=32")
+        )

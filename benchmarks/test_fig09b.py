@@ -1,0 +1,23 @@
+"""Figure 9b: software assistance on 2-way set-associative caches."""
+
+from repro.experiments.fig09_size_assoc import associativity_study
+from repro.metrics import geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig09b(run_figure):
+    result = run_figure(associativity_study)
+
+    def geomean(series):
+        return geometric_mean(result.column(series).values())
+
+    # Victim caching and set-associativity are merely redundant.
+    assert abs(geomean("2-way+victim") - geomean("2-way")) < 0.15
+    # Full software assistance still helps a 2-way cache.
+    assert geomean("Soft 2-way") < geomean("2-way")
+    # The simplified variant (temporal-priority replacement, no
+    # bounce-back cache) performs nearly as well — far cheaper hardware.
+    for bench in BENCHMARK_ORDER:
+        assert result.value(bench, "Simplified Soft 2-way") <= (
+            result.value(bench, "Soft 2-way") * 1.15
+        ), bench

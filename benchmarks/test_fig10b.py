@@ -1,0 +1,15 @@
+"""Figure 10b: AMAT gain vs memory latency (5-30 cycles)."""
+
+from repro.experiments.fig10_latency import latency_sweep
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig10b(run_figure):
+    result = run_figure(latency_sweep)
+    for bench in BENCHMARK_ORDER:
+        row = result.row(bench)
+        # Gains are small below 10 cycles...
+        assert row["latency=5"] < row["latency=20"] + 1e-9, bench
+        # ...and increase very regularly with the memory latency.
+        gains = [row[f"latency={lat}"] for lat in (10, 15, 20, 25, 30)]
+        assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:])), bench

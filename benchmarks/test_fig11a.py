@@ -1,0 +1,22 @@
+"""Figure 11a: optimal block size for blocked matrix-vector multiply."""
+
+from repro.experiments.fig11_blocking import block_size_sweep
+
+#: A representative subset of the paper's x-axis (full sweep at paper
+#: scale takes minutes; pass --figure-scale=paper for the real thing).
+BLOCKS = (10, 50, 100, 300, 600)
+
+
+def test_fig11a(run_figure, figure_scale):
+    blocks = BLOCKS if figure_scale != "paper" else None
+    result = run_figure(block_size_sweep, block_sizes=blocks)
+    rows = list(result.rows)
+    # Soft is never worse than Standard at any block size...
+    for row in rows:
+        assert result.value(row, "Soft") <= result.value(row, "Standard") * 1.001
+    # ...and its advantage GROWS with the block size: pollution hurts the
+    # standard cache exactly where blocking theory wants big blocks.
+    first, last = rows[0], rows[-1]
+    gain_small = result.value(first, "Standard") - result.value(first, "Soft")
+    gain_large = result.value(last, "Standard") - result.value(last, "Soft")
+    assert gain_large > gain_small

@@ -1,0 +1,25 @@
+"""Figure 12: prefetching through the bounce-back cache."""
+
+from repro.experiments.fig12_prefetch import prefetch_study
+from repro.metrics import geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_fig12(run_figure):
+    result = run_figure(prefetch_study)
+
+    def geomean(series):
+        return geometric_mean(result.column(series).values())
+
+    # Prefetching helps both designs...
+    assert geomean("Stand.+Prefetch") < geomean("Standard")
+    assert geomean("Soft+Prefetch") < geomean("Soft")
+    # ...and the software-assisted variant is the best overall: the
+    # spatial tags suppress wrong predictions that blind prefetch-on-miss
+    # wastes bus bandwidth on.
+    assert geomean("Soft+Prefetch") < geomean("Stand.+Prefetch")
+    # Soft+Prefetch never regresses below plain Soft by much anywhere.
+    for bench in BENCHMARK_ORDER:
+        assert result.value(bench, "Soft+Prefetch") <= (
+            result.value(bench, "Soft") * 1.05
+        ), bench

@@ -1,0 +1,20 @@
+"""Replacement-headroom study: LRU / Belady-OPT / software assistance."""
+
+from repro.experiments.headroom_study import headroom
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_headroom(run_figure):
+    result = run_figure(headroom)
+    for bench in BENCHMARK_ORDER:
+        lru_dm = result.value(bench, "LRU-DM")
+        lru_fa = result.value(bench, "LRU-FA")
+        opt_fa = result.value(bench, "OPT-FA")
+        soft = result.value(bench, "Soft")
+        # The decomposition is ordered by construction.
+        assert opt_fa <= lru_fa + 1e-9, bench
+        assert lru_fa <= lru_dm + 1e-9, bench
+        # Soft attacks compulsory misses (virtual lines), which no
+        # replacement policy can: it beats even fully-associative OPT on
+        # every benchmark of this suite.
+        assert soft < opt_fa + 1e-9, bench

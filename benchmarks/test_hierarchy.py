@@ -1,0 +1,23 @@
+"""Retrospective: software assistance behind a 256 KB L2."""
+
+from repro.experiments.hierarchy_study import l2_retrospective
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_hierarchy(run_figure):
+    result = run_figure(l2_retrospective)
+    for bench in BENCHMARK_ORDER:
+        # Assistance still never hurts with an L2 behind it...
+        assert result.value(bench, "Soft +L2") <= (
+            result.value(bench, "Stand +L2") * 1.005
+        ), bench
+        # ...but the relative gain shrinks: an L2 hit is exactly the
+        # short-latency regime of figure 10b.
+        assert result.value(bench, "gain% +L2") <= (
+            result.value(bench, "gain% flat") + 1.0
+        ), bench
+    # Some benefit must survive (compulsory/streaming misses still pay
+    # the full memory trip, and virtual lines halve them).
+    assert max(
+        result.value(b, "gain% +L2") for b in BENCHMARK_ORDER
+    ) > 5.0

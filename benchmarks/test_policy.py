@@ -1,0 +1,23 @@
+"""Tagging-policy study: elementary vs volume-aware temporal tags."""
+
+from repro.experiments.policy_study import policy_comparison
+from repro.workloads import BENCHMARK_ORDER
+
+
+def test_policy(run_figure, figure_scale):
+    result = run_figure(policy_comparison)
+    # On the paper suite the policies coincide: every tagged reuse there
+    # fits the retention budget, so AMAT matches to within noise.
+    for bench in BENCHMARK_ORDER:
+        elem = result.value(bench, "AMAT elem")
+        volume = result.value(bench, "AMAT volume")
+        assert abs(elem - volume) <= elem * 0.02, bench
+    # Where the reuse is unreachable (the oversized MV), the volume-aware
+    # policy keeps the AMAT and removes nearly all bounce activity.
+    if figure_scale != "tiny":
+        elem = result.value("MV-oversized", "AMAT elem")
+        volume = result.value("MV-oversized", "AMAT volume")
+        assert volume <= elem * 1.02
+        assert result.value("MV-oversized", "bounces volume") < (
+            result.value("MV-oversized", "bounces elem") * 0.1
+        )

@@ -1,0 +1,63 @@
+"""Blocking and data copying under software assistance (sections 4.2-4.3).
+
+Two experiments:
+
+1. Blocked matrix-vector multiply across block sizes (figure 11a):
+   pollution forces small blocks on a standard cache; the
+   software-assisted cache keeps large blocks profitable.
+2. Blocked matrix-matrix multiply with/without copying the reused block
+   to a contiguous local array, across leading dimensions (figure 11b):
+   copying is erratic on a standard cache, consistently worthwhile on a
+   software-assisted one.
+
+Run:  python examples/blocking_study.py
+"""
+
+from repro import presets, simulate
+from repro.harness import format_table
+from repro.workloads import get_blocked_mm_trace, get_blocked_mv_trace
+
+
+def block_size_experiment() -> None:
+    print("Blocked MV: AMAT vs block size (B doubles of X per block)\n")
+    rows = {}
+    for block in (10, 50, 100, 500, 1000, 2000):
+        trace = get_blocked_mv_trace(block, scale="paper")
+        rows[f"B={block}"] = {
+            "Standard": simulate(presets.standard(), trace).amat,
+            "Soft": simulate(presets.soft(), trace).amat,
+        }
+    print(format_table(["Standard", "Soft"], rows))
+    best_std = min(rows, key=lambda b: rows[b]["Standard"])
+    best_soft = min(rows, key=lambda b: rows[b]["Soft"])
+    print(f"\nBest block for the standard cache: {best_std}; "
+          f"for the software-assisted cache: {best_soft}.")
+    print("Software assistance lets blocked algorithms use block sizes "
+          "closer to the theoretical optimum (cache capacity).")
+
+
+def copying_experiment() -> None:
+    print("\nBlocked MM: data copying across leading dimensions\n")
+    rows = {}
+    for ld in range(116, 127, 2):
+        cells = {}
+        for copying, label in ((False, "no copy"), (True, "copy")):
+            trace = get_blocked_mm_trace(ld, copying, scale="paper")
+            cells[f"Stand {label}"] = simulate(presets.standard(), trace).amat
+            cells[f"Soft {label}"] = simulate(presets.soft(), trace).amat
+        rows[f"ld={ld}"] = cells
+    print(format_table(
+        ["Stand no copy", "Stand copy", "Soft no copy", "Soft copy"], rows
+    ))
+    print("\nWithout assistance, whether copying pays depends on the "
+          "leading dimension's interference pattern; with assistance the "
+          "local array survives the refill and copying is a safe default.")
+
+
+def main() -> None:
+    block_size_experiment()
+    copying_experiment()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Mechanism walk-through on matrix-vector multiply (paper section 2.2).
+
+MV is the paper's pedagogical example: the X vector is reused on every
+outer iteration but flushed in between by the non-reusable sweep of A.
+This script separates the two mechanisms — bounce-back cache (temporal)
+and virtual lines (spatial) — and shows where each cycle goes.
+
+Run:  python examples/matrix_vector_study.py
+"""
+
+from repro import presets, simulate
+from repro.harness import format_table
+from repro.workloads import get_trace
+
+
+def main() -> None:
+    trace = get_trace("MV", scale="paper")
+    print(f"MV trace: {len(trace)} references "
+          f"(X = 9.6 KB, larger than the 8 KB cache)\n")
+
+    configurations = {
+        "Standard": presets.standard(),
+        "Stand.+Victim": presets.victim(),
+        "Temp only (bounce-back)": presets.soft_temporal_only(),
+        "Spat only (virtual lines)": presets.soft_spatial_only(),
+        "Soft (both)": presets.soft(),
+    }
+
+    rows = {}
+    results = {}
+    for label, cache in configurations.items():
+        r = simulate(cache, trace)
+        results[label] = r
+        rows[label] = {
+            "AMAT": r.amat,
+            "miss %": 100 * r.miss_ratio,
+            "words/ref": r.traffic,
+            "BB hits": r.hits_assist,
+            "bounces": r.bounce_backs,
+        }
+    print(format_table(
+        ["AMAT", "miss %", "words/ref", "BB hits", "bounces"], rows
+    ))
+
+    base = results["Standard"]
+    soft = results["Soft (both)"]
+    print(f"\nWhat happened:")
+    print(f"  - The victim cache alone recovers conflict misses only: "
+          f"AMAT {results['Stand.+Victim'].amat:.2f} vs {base.amat:.2f}.")
+    print(f"  - The bounce-back cache keeps X alive across outer "
+          f"iterations: {results['Temp only (bounce-back)'].bounce_backs} "
+          f"bounces, AMAT {results['Temp only (bounce-back)'].amat:.2f}.")
+    print(f"  - Virtual lines halve A's compulsory misses: "
+          f"AMAT {results['Spat only (virtual lines)'].amat:.2f}.")
+    print(f"  - Combined: AMAT {soft.amat:.2f} "
+          f"({100 * (1 - soft.amat / base.amat):.0f}% faster memory), "
+          f"{100 * (base.misses - soft.misses) / base.misses:.0f}% of "
+          f"misses removed, traffic {base.traffic:.2f} -> "
+          f"{soft.traffic:.2f} words/ref.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: simulate a loop nest on a standard vs software-assisted cache.
+
+Builds the paper's running example (matrix-vector multiply), lets the
+compiler substrate derive the one-bit temporal/spatial tags, generates
+the instrumented trace, and compares the two cache designs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import presets, simulate
+from repro.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    Program,
+    analyze_nest,
+    generate_trace,
+    nest,
+    var,
+)
+
+
+def main() -> None:
+    n, rows = 1200, 40
+    j1, j2 = var("j1"), var("j2")
+
+    # DO j1: reg = Y(j1); DO j2: reg += A(j2,j1) * X(j2); Y(j1) = reg
+    mv = nest(
+        loops=[Loop("j1", 0, rows), Loop("j2", 0, n)],
+        body=[ArrayRef("A", (j2, j1)), ArrayRef("X", (j2,))],
+        pre=[ArrayRef("Y", (j1,))],
+        post=[ArrayRef("Y", (j1,), is_write=True)],
+        name="matrix-vector",
+    )
+    program = Program(
+        "MV",
+        arrays=[Array("Y", (n,)), Array("A", (n, n)), Array("X", (n,))],
+        items=[mv],
+    )
+
+    print("Compiler tags (section 2.3 analysis):")
+    tags = analyze_nest(mv, program.arrays)
+    for ref, tag in zip(mv.all_refs, tags.all):
+        subscripts = ",".join(str(s) for s in ref.subscripts)
+        print(
+            f"  {ref.array}({subscripts}):"
+            f" temporal={tag.temporal} spatial={tag.spatial}"
+        )
+
+    trace = generate_trace(program, seed=42)
+    print(f"\nInstrumented trace: {len(trace)} references")
+
+    standard = simulate(presets.standard(), trace)
+    soft = simulate(presets.soft(), trace)
+
+    print(f"\n{'':>12}  {'AMAT':>7}  {'miss %':>7}  {'words/ref':>9}")
+    for label, r in (("Standard", standard), ("Soft", soft)):
+        print(
+            f"{label:>12}  {r.amat:7.3f}  {100 * r.miss_ratio:7.2f}"
+            f"  {r.traffic:9.3f}"
+        )
+    reduction = 100 * (standard.misses - soft.misses) / standard.misses
+    print(f"\nMiss reduction: {reduction:.0f}% "
+          f"(the paper reports up to 62% for MV)")
+
+
+if __name__ == "__main__":
+    main()

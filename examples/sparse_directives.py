@@ -1,0 +1,76 @@
+"""Scarce locality and user directives on sparse codes (section 4.1).
+
+Sparse matrix-vector multiply reuses each X element only as often as its
+row has non-zeros, through an indirection no compiler can analyse.  The
+paper's answer: a *user directive* tags X temporal by hand; the compiler
+still tags the matrix and index arrays spatial/non-temporal, so their
+streams never pollute past the bounce-back cache.
+
+This script builds SpMV twice — with and without the directive — and
+shows the directive is what unlocks the temporal mechanism.
+
+Run:  python examples/sparse_directives.py
+"""
+
+import numpy as np
+
+from repro import presets, simulate
+from repro.compiler import Array, ArrayRef, Loop, Program, generate_trace, nest, var
+from repro.harness import format_table
+
+
+def build_spmv(tag_x: bool, n_rows=3000, nnz=12, n_cols=2500, seed=7) -> Program:
+    """CSC sparse matrix-vector multiply over a banded random matrix."""
+    rng = np.random.default_rng(seed)
+    band = n_rows // 5
+    diag = (np.arange(n_cols) * n_rows) // n_cols
+    jitter = rng.integers(-band // 2, band // 2 + 1, size=(n_cols, nnz))
+    index = np.clip(diag[:, None] + jitter, 0, n_rows - 1)
+    index.sort(axis=1)
+    table = tuple(int(v) for v in index.reshape(-1))
+
+    j1, j2 = var("j1"), var("j2")
+    position = j1 * nnz + j2
+    x_ref = ArrayRef(
+        "X", (position,), indirect=table,
+        temporal=True if tag_x else None,  # <- the user directive
+    )
+    loop = nest(
+        [Loop("j1", 0, n_cols), Loop("j2", 0, nnz)],
+        body=[ArrayRef("Index", (position,)), ArrayRef("A", (position,)), x_ref],
+        pre=[ArrayRef("D", (j1,)), ArrayRef("D", (j1 + 1,)),
+             ArrayRef("Y", (j1,))],
+        post=[ArrayRef("Y", (j1,), is_write=True)],
+        name="spmv",
+    )
+    arrays = [
+        Array("Y", (n_cols,)), Array("D", (n_cols + 1,)),
+        Array("A", (n_cols * nnz,)), Array("Index", (n_cols * nnz,)),
+        Array("X", (n_rows,)),
+    ]
+    label = "directive" if tag_x else "no-directive"
+    return Program(f"SpMV-{label}", arrays, [loop])
+
+
+def main() -> None:
+    rows = {}
+    for tag_x in (False, True):
+        trace = generate_trace(build_spmv(tag_x), seed=0)
+        label = "with directive" if tag_x else "without directive"
+        rows[label] = {
+            "Standard": simulate(presets.standard(), trace).amat,
+            "Soft": simulate(presets.soft(), trace).amat,
+        }
+    print("SpMV AMAT — the user directive tags X 'temporal' through the "
+          "indirection the compiler cannot see:\n")
+    print(format_table(["Standard", "Soft"], rows))
+    without = rows["without directive"]["Soft"]
+    with_d = rows["with directive"]["Soft"]
+    print(f"\nThe directive buys a further "
+          f"{100 * (1 - with_d / without):.0f}% of AMAT on the "
+          f"software-assisted cache (and costs nothing on the standard "
+          f"one, which ignores tags).")
+
+
+if __name__ == "__main__":
+    main()

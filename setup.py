@@ -1,0 +1,10 @@
+"""Setup shim for environments whose setuptools cannot do PEP 660 editable
+installs (no `wheel` package available offline).  All real metadata lives
+in pyproject.toml; install with:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

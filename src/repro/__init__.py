@@ -1,0 +1,78 @@
+"""repro — reproduction of "Software Assistance for Data Caches"
+(O. Temam & N. Drach, HPCA 1995).
+
+The package implements the paper's software-assisted data cache —
+virtual lines for spatial locality and a bounce-back cache for temporal
+locality, driven by one-bit per-instruction compiler tags — together
+with every substrate its evaluation needs: a loop-nest compiler with the
+section 2.3 locality analysis, instrumented trace generation, baseline
+cache simulators (standard, victim, bypassing), the benchmark suite and
+the per-figure experiment drivers.
+
+Quick start::
+
+    from repro import presets, simulate, get_trace
+
+    trace = get_trace("MV")                 # instrumented matrix-vector trace
+    standard = simulate(presets.standard(), trace)
+    soft = simulate(presets.soft(), trace)
+    print(standard.amat, "->", soft.amat)
+"""
+
+from .core import (
+    PAPER_SOFT,
+    PAPER_STANDARD,
+    SoftCacheConfig,
+    SoftwareAssistedCache,
+    presets,
+)
+from .errors import (
+    CompilerError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .memtrace import Trace, TraceBuilder, TraceEntry
+from .sim import (
+    BypassCache,
+    CacheGeometry,
+    MemoryTiming,
+    SimResult,
+    StandardCache,
+    simulate,
+    simulate_many,
+)
+from .workloads import get_trace, suite_traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SoftCacheConfig",
+    "SoftwareAssistedCache",
+    "PAPER_SOFT",
+    "PAPER_STANDARD",
+    "presets",
+    # simulation
+    "CacheGeometry",
+    "MemoryTiming",
+    "SimResult",
+    "StandardCache",
+    "BypassCache",
+    "simulate",
+    "simulate_many",
+    # traces & workloads
+    "Trace",
+    "TraceBuilder",
+    "TraceEntry",
+    "get_trace",
+    "suite_traces",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "CompilerError",
+    "SimulationError",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+figures
+    List every reproducible figure and extension study.
+run FIGURE [...]
+    Regenerate one or more figures (``run all`` for the whole battery).
+simulate
+    Run a benchmark trace through one or all cache configurations.
+tags
+    Show the section 2.3 locality tags of a benchmark's loop nests.
+trace
+    Generate a benchmark trace and save it to an ``.npz`` file.
+attribute
+    Per-instruction miss attribution of a benchmark (top offenders).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import presets
+from .errors import ReproError
+from .harness.tables import format_table
+from .memtrace.io import save_trace
+from .metrics.attribution import attribute as attribute_misses
+from .sim.driver import simulate
+from .workloads.registry import BENCHMARK_ORDER, build_program, get_trace
+
+#: Cache configurations selectable from the command line.
+CONFIGS: Dict[str, Callable] = {
+    "standard": presets.standard,
+    "victim": presets.victim,
+    "temporal": presets.soft_temporal_only,
+    "spatial": presets.soft_spatial_only,
+    "soft": presets.soft,
+    "bypass": presets.bypass,
+    "bypass-buffer": presets.bypass_buffered,
+    "standard-prefetch": presets.standard_prefetch,
+    "soft-prefetch": presets.soft_prefetch,
+    "temporal-priority": presets.temporal_priority,
+}
+
+SCALES = ("tiny", "test", "paper")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Software Assistance for Data Caches' "
+        "(Temam & Drach, HPCA 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproducible figures and studies")
+
+    run = sub.add_parser("run", help="regenerate figures")
+    run.add_argument("names", nargs="+", help="figure ids, or 'all'")
+    run.add_argument("--scale", choices=SCALES, default="paper")
+    run.add_argument("--chart", action="store_true",
+                     help="render ASCII bar charts instead of tables")
+
+    sim = sub.add_parser("simulate", help="simulate a benchmark")
+    sim.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
+    sim.add_argument(
+        "--config", default="all", choices=list(CONFIGS) + ["all"]
+    )
+    sim.add_argument("--scale", choices=SCALES, default="paper")
+    sim.add_argument("--seed", type=int, default=0)
+
+    tags = sub.add_parser("tags", help="show compiler locality tags")
+    tags.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
+    tags.add_argument("--scale", choices=SCALES, default="paper")
+
+    trace = sub.add_parser("trace", help="generate and save a trace")
+    trace.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
+    trace.add_argument("--scale", choices=SCALES, default="paper")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", required=True, help="output .npz path")
+
+    attr = sub.add_parser("attribute", help="per-instruction miss profile")
+    attr.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
+    attr.add_argument("--config", default="standard", choices=list(CONFIGS))
+    attr.add_argument("--scale", choices=SCALES, default="paper")
+    attr.add_argument("--top", type=int, default=10)
+    return parser
+
+
+def _cmd_figures() -> int:
+    from .experiments import ALL_FIGURES, EXTENSION_STUDIES
+
+    print("Paper figures:")
+    for name in ALL_FIGURES:
+        print(f"  {name}")
+    print("Extension studies:")
+    for name in EXTENSION_STUDIES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(names: List[str], scale: str, chart: bool = False) -> int:
+    from .experiments import ALL_FIGURES, EXTENSION_STUDIES
+
+    battery = {**ALL_FIGURES, **EXTENSION_STUDIES}
+    wanted = list(battery) if names == ["all"] else names
+    unknown = [n for n in wanted if n not in battery]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in wanted:
+        result = battery[name](scale=scale)
+        print(result.chart() if chart else result.table())
+        print()
+    return 0
+
+
+def _cmd_simulate(benchmark: str, config: str, scale: str, seed: int) -> int:
+    trace = get_trace(benchmark, scale, seed)
+    chosen = CONFIGS if config == "all" else {config: CONFIGS[config]}
+    rows = {}
+    for label, factory in chosen.items():
+        r = simulate(factory(), trace)
+        rows[label] = {
+            "AMAT": r.amat,
+            "miss %": 100 * r.miss_ratio,
+            "words/ref": r.traffic,
+            "main hit %": 100 * r.main_hit_fraction,
+        }
+    print(f"{benchmark} ({len(trace)} references, scale={scale})")
+    print(format_table(["AMAT", "miss %", "words/ref", "main hit %"], rows))
+    return 0
+
+
+def _cmd_tags(benchmark: str, scale: str) -> int:
+    from .compiler import analyze_program
+    from .compiler.pretty import format_program
+
+    program = build_program(benchmark, scale)
+    print(format_program(program, analyze_program(program)))
+    return 0
+
+
+def _cmd_trace(benchmark: str, scale: str, seed: int, out: str) -> int:
+    trace = get_trace(benchmark, scale, seed)
+    save_trace(trace, out)
+    print(f"wrote {len(trace)} references to {out}")
+    return 0
+
+
+def _cmd_attribute(benchmark: str, config: str, scale: str, top: int) -> int:
+    trace = get_trace(benchmark, scale)
+    result = attribute_misses(CONFIGS[config]() , trace)
+    print(
+        f"{benchmark} on {config}: {result.total_misses} misses from "
+        f"{result.static_instructions} static load/stores; "
+        f"{result.instructions_covering(0.9)} cover 90%"
+    )
+    rows = {
+        f"ref_id={p.ref_id}": {
+            "refs": p.refs,
+            "misses": p.misses,
+            "miss %": 100 * p.miss_ratio,
+            "cycles": p.cycles,
+        }
+        for p in result.top(top)
+    }
+    print(format_table(["refs", "misses", "miss %", "cycles"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    try:
+        if args.command == "figures":
+            return _cmd_figures()
+        if args.command == "run":
+            return _cmd_run(args.names, args.scale, args.chart)
+        if args.command == "simulate":
+            return _cmd_simulate(
+                args.benchmark, args.config, args.scale, args.seed
+            )
+        if args.command == "tags":
+            return _cmd_tags(args.benchmark, args.scale)
+        if args.command == "trace":
+            return _cmd_trace(args.benchmark, args.scale, args.seed, args.out)
+        if args.command == "attribute":
+            return _cmd_attribute(
+                args.benchmark, args.config, args.scale, args.top
+            )
+        raise AssertionError(f"unhandled command {args.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager that quit early (e.g. `| head`).
+        return 0

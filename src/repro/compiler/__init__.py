@@ -1,0 +1,52 @@
+"""Loop-nest compiler substrate: IR, §2.3 locality analysis, trace generation.
+
+This package stands in for the paper's Sage++ source-instrumentation
+pass: benchmarks are written as loop nests over Fortran-layout arrays,
+the locality analysis derives the one-bit temporal/spatial tags by
+subscript analysis, and the trace generator emits the instrumented
+reference stream the cache simulators consume.
+"""
+
+from .affine import Affine, var
+from .locality import (
+    SPATIAL_THRESHOLD_ELEMENTS,
+    RefTags,
+    analyze_nest,
+    analyze_program,
+    linearize,
+)
+from .loopnest import (
+    Array,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Program,
+    ScalarBlock,
+    nest,
+)
+from .pretty import format_nest, format_program, format_ref
+from .tracegen import generate_trace
+from .transforms import interchange, strip_mine
+
+__all__ = [
+    "interchange",
+    "strip_mine",
+    "format_nest",
+    "format_program",
+    "format_ref",
+    "Affine",
+    "var",
+    "Array",
+    "ArrayRef",
+    "Loop",
+    "LoopNest",
+    "Program",
+    "ScalarBlock",
+    "nest",
+    "RefTags",
+    "SPATIAL_THRESHOLD_ELEMENTS",
+    "analyze_nest",
+    "analyze_program",
+    "linearize",
+    "generate_trace",
+]

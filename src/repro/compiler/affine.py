@@ -1,0 +1,163 @@
+"""Affine index expressions over loop induction variables.
+
+Array subscripts in the paper's benchmarks are affine functions of the
+loop indices (``A(I,J)``, ``B(J,I+1)``...).  The locality analysis of
+section 2.3 is plain subscript analysis on these expressions: reading off
+the innermost-loop coefficient (spatial tag) and comparing expressions up
+to a constant (temporal group dependences).
+
+:class:`Affine` is immutable and hashable; arithmetic returns new objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Tuple, Union
+
+import numpy as np
+
+from ..errors import CompilerError
+
+Number = Union[int, np.integer]
+
+
+def _normalise(terms: Mapping[str, int]) -> Tuple[Tuple[str, int], ...]:
+    """Drop zero coefficients and order terms deterministically."""
+    return tuple(sorted((v, int(c)) for v, c in terms.items() if c != 0))
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``const + sum(coefficient * variable)`` with integer coefficients."""
+
+    const: int = 0
+    terms: Tuple[Tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "const", int(self.const))
+        object.__setattr__(self, "terms", _normalise(dict(self.terms)))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def variable(name: str) -> "Affine":
+        """The expression consisting of a single loop index."""
+        return Affine(0, ((name, 1),))
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        """A constant expression."""
+        return Affine(int(value), ())
+
+    @staticmethod
+    def build(const: int = 0, **coefficients: int) -> "Affine":
+        """Readable constructor: ``Affine.build(2, i=1, j=4)`` = 2 + i + 4j."""
+        return Affine(const, tuple(coefficients.items()))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def coefficient(self, var: str) -> int:
+        """Coefficient of ``var`` (0 if absent)."""
+        for v, c in self.terms:
+            if v == var:
+                return c
+        return 0
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """The set of loop indices this expression depends on."""
+        return frozenset(v for v, _ in self.terms)
+
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def drop_const(self) -> "Affine":
+        """The same expression with a zero constant term.
+
+        Two subscripts are *uniformly generated* exactly when their
+        ``drop_const()`` forms are equal.
+        """
+        return Affine(0, self.terms)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["Affine", Number]) -> "Affine":
+        if isinstance(other, (int, np.integer)):
+            return Affine(self.const + int(other), self.terms)
+        if isinstance(other, Affine):
+            merged: Dict[str, int] = dict(self.terms)
+            for v, c in other.terms:
+                merged[v] = merged.get(v, 0) + c
+            return Affine(self.const + other.const, tuple(merged.items()))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return self * -1
+
+    def __sub__(self, other: Union["Affine", Number]) -> "Affine":
+        if isinstance(other, (int, np.integer)):
+            return self + (-int(other))
+        if isinstance(other, Affine):
+            return self + (-other)
+        return NotImplemented
+
+    def __mul__(self, scalar: Number) -> "Affine":
+        if not isinstance(scalar, (int, np.integer)):
+            raise CompilerError(
+                f"affine expressions only scale by integers, got {scalar!r}"
+            )
+        s = int(scalar)
+        return Affine(self.const * s, tuple((v, c * s) for v, c in self.terms))
+
+    __rmul__ = __mul__
+
+    def substitute(self, name: str, replacement: "Affine") -> "Affine":
+        """Replace a variable by an affine expression.
+
+        Used by loop transformations: strip-mining ``i`` into
+        ``io * B + ii`` rewrites every subscript via
+        ``substitute("i", io * B + ii)``.
+        """
+        coefficient = self.coefficient(name)
+        if coefficient == 0:
+            return self
+        remaining = Affine(
+            self.const, tuple((v, c) for v, c in self.terms if v != name)
+        )
+        return remaining + replacement * coefficient
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, env: Mapping[str, Union[int, np.ndarray]]):
+        """Evaluate under an assignment of loop indices.
+
+        Values may be scalars or (broadcastable) numpy arrays; the result
+        follows numpy broadcasting, which is what the vectorised trace
+        generator relies on.
+        """
+        result: Union[int, np.ndarray] = self.const
+        for v, c in self.terms:
+            if v not in env:
+                raise CompilerError(f"unbound loop index {v!r} in {self}")
+            result = result + c * env[v]
+        return result
+
+    def __str__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.terms else []
+        for v, c in self.terms:
+            if c == 1:
+                parts.append(v)
+            else:
+                parts.append(f"{c}*{v}")
+        return " + ".join(parts) if parts else "0"
+
+
+def var(name: str) -> Affine:
+    """Shorthand for :meth:`Affine.variable`, for readable nest definitions."""
+    return Affine.variable(name)

@@ -1,0 +1,311 @@
+"""Compile-time locality analysis (paper section 2.3).
+
+The paper deliberately uses *elementary* techniques — the point is that
+simple subscript analysis suffices to drive the hardware:
+
+spatial tag
+    Set when the coefficient of the innermost loop in the (linearised,
+    column-major) subscript is smaller than 4 elements (a 32-byte line
+    holds 4 doubles).  A parametric coefficient forbids the tag.  Within a
+    uniformly generated group, only the *leader* (the reference touching
+    new data first) keeps the spatial tag — the follower's data is already
+    in cache through the group-temporal reuse, so fetching a virtual line
+    for it would be wasted (this is why ``B(J,I)`` is tagged *no spatial*
+    while ``B(J,I+1)`` is tagged *spatial* in the paper's figure 5).
+
+temporal tag
+    Set on a temporal *self-dependence* — the reference is invariant along
+    some enclosing loop with more than one iteration (``X(J)`` inside the
+    ``I`` loop) — or a *uniformly generated group dependence* — another
+    reference to the same array whose linearised subscript differs only by
+    a constant (``B(J,I)`` / ``B(J,I+1)``, or a read/write pair ``Y(I)``).
+
+CALL statements
+    A loop body containing a call gets all tags cleared (no
+    interprocedural analysis), unless a user directive (section 4.1)
+    explicitly overrides a reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CompilerError
+from . import volume
+from .affine import Affine
+from .loopnest import Array, ArrayRef, LoopNest, Program
+
+#: The paper's spatial threshold: strides below 4 elements (32 bytes /
+#: 8-byte double) leave spatial locality inside a physical line.
+SPATIAL_THRESHOLD_ELEMENTS = 4
+
+
+@dataclass(frozen=True)
+class RefTags:
+    """Result of the analysis for one reference."""
+
+    temporal: bool
+    spatial: bool
+    reasons: Tuple[str, ...] = ()
+
+    def __iter__(self):
+        yield self.temporal
+        yield self.spatial
+
+
+def linearize(ref: ArrayRef, array: Array) -> Affine:
+    """Linearised element offset of a (direct) reference.
+
+    Column-major: ``offset = s0 + d0*(s1 + d1*(s2 + ...))``.
+    """
+    if ref.indirect is not None:
+        raise CompilerError(
+            f"cannot linearise indirect reference to {ref.array!r}"
+        )
+    if len(ref.subscripts) != len(array.shape):
+        raise CompilerError(
+            f"reference to {array.name!r} has {len(ref.subscripts)} "
+            f"subscripts, array has {len(array.shape)} dimensions"
+        )
+    offset = Affine.constant(0)
+    for subscript, stride in zip(ref.subscripts, array.strides()):
+        offset = offset + subscript * stride
+    return offset
+
+
+@dataclass(frozen=True)
+class NestTags:
+    """Analysis result for a whole nest, by reference position."""
+
+    pre: Tuple[RefTags, ...]
+    body: Tuple[RefTags, ...]
+    post: Tuple[RefTags, ...]
+
+    @property
+    def all(self) -> Tuple[RefTags, ...]:
+        """Tags in ``pre, body, post`` order (matches ``LoopNest.all_refs``)."""
+        return self.pre + self.body + self.post
+
+
+def _self_temporal(offset: Affine, loops: Sequence) -> bool:
+    """True if the reference is invariant along some multi-trip loop.
+
+    Opaque loops (call boundaries in the original source) are skipped:
+    the analysis cannot see reuse carried across them.
+    """
+    return any(
+        offset.coefficient(loop.index) == 0
+        and loop.trip_count > 1
+        and not loop.opaque
+        for loop in loops
+    )
+
+
+#: Tagging policies: the paper's elementary rules, or the volume-aware
+#: refinement (see :mod:`repro.compiler.volume`).
+TAGGING_POLICIES = ("elementary", "volume-aware")
+
+
+def _analyze_refs(
+    refs: Sequence[ArrayRef],
+    loops: Sequence,
+    arrays: Dict[str, Array],
+    has_call: bool,
+    spatial_threshold: int,
+    known_indices: frozenset = frozenset(),
+    policy: str = "elementary",
+    retention_refs: int = 0,
+) -> List[RefTags]:
+    """Tag a group of references executing at the same loop level.
+
+    ``loops`` is the enclosing loop stack of these references (its last
+    element is their innermost loop).  Uniformly generated groups are
+    detected among the given references only — cross-level dependences
+    are deliberately out of reach of the paper's "elementary" analysis.
+    """
+    offsets: List[Optional[Affine]] = []
+    for ref in refs:
+        if ref.indirect is None:
+            offsets.append(linearize(ref, arrays[ref.array]))
+        else:
+            offsets.append(None)
+
+    groups: Dict[Tuple[str, Affine], List[int]] = {}
+    for i, (ref, offset) in enumerate(zip(refs, offsets)):
+        if offset is not None:
+            groups.setdefault((ref.array, offset.drop_const()), []).append(i)
+
+    tags: List[RefTags] = []
+    for i, (ref, offset) in enumerate(zip(refs, offsets)):
+        reasons: List[str] = []
+        if has_call:
+            temporal = spatial = False
+            reasons.append("loop body contains a CALL: tags cleared")
+        elif not loops:
+            temporal = spatial = False
+            reasons.append("reference outside any loop: untagged")
+        elif offset is None:
+            temporal = spatial = False
+            reasons.append("indirect addressing: no compile-time locality")
+        elif known_indices and not offset.variables <= known_indices:
+            # Subscripts written through loop-index aliases: without
+            # subscript expansion (section 3.2) the analysis cannot see
+            # the stride or the reuse.
+            temporal = spatial = False
+            reasons.append(
+                "aliased subscript: needs subscript expansion"
+            )
+        else:
+            members = groups[(ref.array, offset.drop_const())]
+            in_group = len(members) > 1
+            group_consts = [offsets[j].const for j in members]  # type: ignore[union-attr]
+            is_follower = (
+                in_group
+                and max(group_consts) != min(group_consts)
+                and offset.const < max(group_consts)
+            )
+
+            volume_aware = policy == "volume-aware"
+            temporal = False
+            if _self_temporal(offset, loops):
+                if not volume_aware:
+                    temporal = True
+                    reasons.append("temporal self-dependence (loop-invariant)")
+                else:
+                    distance = volume.self_reuse_distance(
+                        offset, loops, len(refs)
+                    )
+                    if volume.reachable(distance, retention_refs):
+                        temporal = True
+                        reasons.append(
+                            f"self-dependence within reach "
+                            f"(~{distance} references)"
+                        )
+                    else:
+                        reasons.append(
+                            "self-dependence beyond the retention budget: "
+                            "volume-aware policy declines the tag"
+                        )
+            if in_group:
+                if not volume_aware:
+                    temporal = True
+                    reasons.append("uniformly generated group dependence")
+                else:
+                    distance = min(
+                        volume.group_reuse_distance(
+                            offset.const - offsets[j].const,  # type: ignore[union-attr]
+                            offset,
+                            loops,
+                            len(refs),
+                        )
+                        for j in members
+                        if j != i
+                    )
+                    if volume.reachable(distance, retention_refs):
+                        temporal = True
+                        reasons.append(
+                            f"group dependence within reach "
+                            f"(~{distance} references)"
+                        )
+                    else:
+                        reasons.append(
+                            "group dependence beyond the retention budget: "
+                            "volume-aware policy declines the tag"
+                        )
+
+            innermost = loops[-1]
+            if ref.parametric_stride:
+                spatial = False
+                reasons.append("parametric innermost coefficient: no spatial")
+            else:
+                stride = abs(offset.coefficient(innermost.index) * innermost.step)
+                spatial = stride < spatial_threshold
+                reasons.append(f"innermost stride = {stride} elements")
+                if spatial and is_follower:
+                    spatial = False
+                    reasons.append(
+                        "group follower: data touched earlier by group leader"
+                    )
+
+        # User directives (section 4.1) override the compiler in all cases.
+        if ref.temporal is not None:
+            temporal = ref.temporal
+            reasons.append(f"user directive: temporal={ref.temporal}")
+        if ref.spatial is not None:
+            spatial = ref.spatial
+            reasons.append(f"user directive: spatial={ref.spatial}")
+
+        tags.append(RefTags(temporal, spatial, tuple(reasons)))
+    return tags
+
+
+def analyze_nest(
+    nest: LoopNest,
+    arrays: Dict[str, Array],
+    spatial_threshold: int = SPATIAL_THRESHOLD_ELEMENTS,
+    expand_subscripts: bool = False,
+    policy: str = "elementary",
+    retention_refs: int = volume.DEFAULT_RETENTION_REFS,
+) -> NestTags:
+    """Derive the (temporal, spatial) tags for every reference of a nest.
+
+    Body references are analysed at the full loop depth; pre/post
+    references at the outer-loop depth (their innermost enclosing loop is
+    the second-innermost loop of the nest).  With ``expand_subscripts``
+    the section 3.2 alias limitation is lifted: aliased subscripts are
+    rewritten in pure loop indices before the analysis (the paper did
+    *not* do this, which is the default here too).
+    """
+    if policy not in TAGGING_POLICIES:
+        raise CompilerError(
+            f"unknown tagging policy {policy!r}; choose from "
+            f"{TAGGING_POLICIES}"
+        )
+    target = nest.expanded() if expand_subscripts else nest
+    known = frozenset(loop.index for loop in nest.loops)
+    body = _analyze_refs(
+        target.body, target.loops, arrays, target.has_call,
+        spatial_threshold, known_indices=known,
+        policy=policy, retention_refs=retention_refs,
+    )
+    outer = _analyze_refs(
+        target.pre + target.post,
+        target.outer_loops,
+        arrays,
+        target.has_call,
+        spatial_threshold,
+        known_indices=known,
+        policy=policy,
+        retention_refs=retention_refs,
+    )
+    n_pre = len(target.pre)
+    return NestTags(
+        pre=tuple(outer[:n_pre]),
+        body=tuple(body),
+        post=tuple(outer[n_pre:]),
+    )
+
+
+def analyze_program(
+    program: Program,
+    spatial_threshold: int = SPATIAL_THRESHOLD_ELEMENTS,
+    expand_subscripts: bool = False,
+    policy: str = "elementary",
+    retention_refs: int = volume.DEFAULT_RETENTION_REFS,
+) -> Dict[int, NestTags]:
+    """Tags for every loop nest of a program, keyed by item position.
+
+    Scalar blocks get no entry: their references are untagged by
+    construction (outside-loop references, figure 4a).
+    """
+    result: Dict[int, NestTags] = {}
+    for position, item in enumerate(program.items):
+        if isinstance(item, LoopNest):
+            result[position] = analyze_nest(
+                item, program.arrays, spatial_threshold,
+                expand_subscripts=expand_subscripts,
+                policy=policy,
+                retention_refs=retention_refs,
+            )
+    return result

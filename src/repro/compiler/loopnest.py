@@ -1,0 +1,407 @@
+"""Loop-nest intermediate representation.
+
+The workloads of the paper (matrix-vector multiply, Livermore loops,
+Perfect Club kernels...) are Fortran loop nests over dense arrays.  This
+module provides a small IR for such nests so that
+
+* the locality analysis of section 2.3 (:mod:`repro.compiler.locality`)
+  can derive per-reference temporal/spatial tags by subscript analysis,
+  exactly as the paper's Sage++ instrumentation pass does, and
+* the trace generator (:mod:`repro.compiler.tracegen`) can "execute" the
+  nest and emit the instrumented reference trace.
+
+Arrays are laid out column-major (Fortran): the *first* subscript is the
+fastest-varying one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import CompilerError
+from .affine import Affine
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop ``DO index = lower, upper-1, step`` (upper exclusive).
+
+    ``opaque`` marks a loop that, in the original program, is a call
+    boundary (e.g. a time-stepping loop invoking the sweep subroutine):
+    the locality analysis cannot carry temporal reuse across its
+    iterations, although loops *inside* it are analysed normally.  This
+    differs from ``LoopNest.has_call``, which poisons the whole body.
+    """
+
+    index: str
+    lower: int
+    upper: int
+    step: int = 1
+    opaque: bool = False
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise CompilerError(f"loop {self.index!r}: step must be positive")
+        if self.upper < self.lower:
+            raise CompilerError(
+                f"loop {self.index!r}: upper bound {self.upper} below lower "
+                f"bound {self.lower}"
+            )
+
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations executed."""
+        return max(0, (self.upper - self.lower + self.step - 1) // self.step)
+
+    def values(self) -> np.ndarray:
+        """All values taken by the induction variable, in order."""
+        return np.arange(self.lower, self.upper, self.step, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class Array:
+    """A dense Fortran array: column-major, double precision by default."""
+
+    name: str
+    shape: Tuple[int, ...]
+    element_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(d <= 0 for d in self.shape):
+            raise CompilerError(f"array {self.name!r}: invalid shape {self.shape}")
+        if self.element_size <= 0:
+            raise CompilerError(f"array {self.name!r}: invalid element size")
+
+    @property
+    def elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        return self.elements * self.element_size
+
+    def strides(self) -> Tuple[int, ...]:
+        """Element stride of each dimension (column-major)."""
+        strides: List[int] = []
+        acc = 1
+        for d in self.shape:
+            strides.append(acc)
+            acc *= d
+        return tuple(strides)
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """One array reference inside a loop body.
+
+    Parameters
+    ----------
+    array
+        Name of the referenced array.
+    subscripts
+        One affine expression per array dimension (column-major order).
+        With ``indirect`` set, a single subscript indexes the indirection
+        table instead.
+    is_write
+        True for stores.
+    indirect
+        Optional integer table: the element offset is
+        ``indirect[subscripts[0]]`` (indirect addressing, e.g. the sparse
+        matrix-vector ``X(Index(j2))``).
+    temporal / spatial
+        Optional user directives (section 4.1) overriding the compiler
+        analysis.  ``None`` means "let the compiler decide".
+    parametric_stride
+        True when the innermost-loop coefficient is a runtime parameter;
+        the paper's rule then forbids the spatial tag.
+    """
+
+    array: str
+    subscripts: Tuple[Affine, ...]
+    is_write: bool = False
+    indirect: Optional[Tuple[int, ...]] = None
+    temporal: Optional[bool] = None
+    spatial: Optional[bool] = None
+    parametric_stride: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.subscripts:
+            raise CompilerError(f"reference to {self.array!r} has no subscripts")
+        # Accept plain integers as constant subscripts.
+        if any(isinstance(s, int) for s in self.subscripts):
+            coerced = tuple(
+                Affine.constant(s) if isinstance(s, int) else s
+                for s in self.subscripts
+            )
+            object.__setattr__(self, "subscripts", coerced)
+        if self.indirect is not None and len(self.subscripts) != 1:
+            raise CompilerError(
+                f"indirect reference to {self.array!r} must have exactly one "
+                f"subscript (the table position)"
+            )
+
+    def indirect_table(self) -> np.ndarray:
+        if self.indirect is None:
+            raise CompilerError(f"reference to {self.array!r} is not indirect")
+        return np.asarray(self.indirect, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A loop nest with a straight-line body of array references.
+
+    ``loops`` is ordered outermost-first; the ``body`` executes once per
+    innermost iteration, references in source order.  ``pre`` and
+    ``post`` references execute once per iteration of the *outer* loops,
+    immediately before/after the innermost loop — the Fortran
+    accumulator idiom the paper's loops use::
+
+        DO j1 = 0,N-1
+           reg = Y(j1)          <- pre
+           DO j2 = 0,N-1
+              reg += A(j2,j1) * X(j2)     <- body
+           ENDDO
+           Y(j1) = reg          <- post
+        ENDDO
+
+    ``has_call`` marks a loop body containing a CALL statement: the paper
+    performs no interprocedural analysis, so all tags in such a nest are
+    cleared.
+
+    ``aliases`` models the dusty-deck idiom the paper blames for missing
+    tags: subscripts written through an alias of a loop index
+    (``K = 2*J + 1; ... A(K)``).  An alias maps a variable name to its
+    affine definition in the loop indices.  Trace generation always
+    resolves aliases (addresses are concrete), but the locality analysis
+    only sees through them when *subscript expansion* is enabled — "since
+    subscript expansion was not performed, the locality could not be
+    exploited in these loops" (section 3.2).
+    """
+
+    loops: Tuple[Loop, ...]
+    body: Tuple[ArrayRef, ...]
+    pre: Tuple[ArrayRef, ...] = ()
+    post: Tuple[ArrayRef, ...] = ()
+    has_call: bool = False
+    name: str = ""
+    aliases: Tuple[Tuple[str, Affine], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise CompilerError("a loop nest needs at least one loop")
+        if not self.body:
+            raise CompilerError("a loop nest needs at least one reference")
+        names = [l.index for l in self.loops]
+        if len(set(names)) != len(names):
+            raise CompilerError(f"duplicate loop indices in nest: {names}")
+        alias_map = dict(self.aliases)
+        if set(alias_map) & set(names):
+            raise CompilerError("an alias cannot shadow a loop index")
+        for alias, definition in alias_map.items():
+            foreign = definition.variables - set(names)
+            if foreign:
+                raise CompilerError(
+                    f"alias {alias!r} refers to unknown indices {foreign}"
+                )
+        inner = self.loops[-1].index
+        for ref in self.pre + self.post:
+            for subscript in ref.subscripts:
+                if inner in subscript.variables:
+                    raise CompilerError(
+                        f"pre/post reference to {ref.array!r} uses the "
+                        f"innermost index {inner!r}"
+                    )
+
+    def resolve_aliases(self, expression: Affine) -> Affine:
+        """Substitute every alias in ``expression`` by its definition."""
+        out = expression
+        for alias, definition in self.aliases:
+            out = out.substitute(alias, definition)
+        return out
+
+    def expanded(self) -> "LoopNest":
+        """The nest with all subscripts rewritten in pure loop indices
+        (the subscript-expansion transformation of section 3.2)."""
+        if not self.aliases:
+            return self
+
+        def rewrite(ref: ArrayRef) -> ArrayRef:
+            return ArrayRef(
+                array=ref.array,
+                subscripts=tuple(
+                    self.resolve_aliases(s) for s in ref.subscripts
+                ),
+                is_write=ref.is_write,
+                indirect=ref.indirect,
+                temporal=ref.temporal,
+                spatial=ref.spatial,
+                parametric_stride=ref.parametric_stride,
+            )
+
+        return LoopNest(
+            loops=self.loops,
+            body=tuple(rewrite(r) for r in self.body),
+            pre=tuple(rewrite(r) for r in self.pre),
+            post=tuple(rewrite(r) for r in self.post),
+            has_call=self.has_call,
+            name=self.name,
+        )
+
+    @property
+    def innermost(self) -> Loop:
+        return self.loops[-1]
+
+    @property
+    def outer_loops(self) -> Tuple[Loop, ...]:
+        return self.loops[:-1]
+
+    @property
+    def iterations(self) -> int:
+        n = 1
+        for loop in self.loops:
+            n *= loop.trip_count
+        return n
+
+    @property
+    def outer_iterations(self) -> int:
+        n = 1
+        for loop in self.loops[:-1]:
+            n *= loop.trip_count
+        return n
+
+    @property
+    def references(self) -> int:
+        """Total dynamic references issued by the nest."""
+        return self.iterations * len(self.body) + self.outer_iterations * (
+            len(self.pre) + len(self.post)
+        )
+
+    @property
+    def all_refs(self) -> Tuple[ArrayRef, ...]:
+        """Static references in pre, body, post order."""
+        return self.pre + self.body + self.post
+
+
+def nest(
+    loops: Sequence[Loop],
+    body: Sequence[ArrayRef],
+    pre: Sequence[ArrayRef] = (),
+    post: Sequence[ArrayRef] = (),
+    has_call: bool = False,
+    name: str = "",
+    aliases: Mapping[str, Affine] = None,
+) -> LoopNest:
+    """Convenience constructor accepting plain sequences and dicts."""
+    return LoopNest(
+        tuple(loops), tuple(body), pre=tuple(pre), post=tuple(post),
+        has_call=has_call, name=name,
+        aliases=tuple((aliases or {}).items()),
+    )
+
+
+@dataclass(frozen=True)
+class ScalarBlock:
+    """A block of untagged scalar/outside-loop references.
+
+    Perfect Club codes issue a large fraction of references outside loops
+    (figure 4a's untagged share).  A scalar block models them: ``count``
+    references drawn round-robin from ``addresses``; never tagged.
+    """
+
+    addresses: Tuple[int, ...]
+    count: int
+    write_every: int = 0  # every n-th reference is a store (0 = never)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            raise CompilerError("scalar block needs at least one address")
+        if self.count < 0:
+            raise CompilerError("scalar block count must be non-negative")
+
+
+#: Anything a program may contain.
+ProgramItem = Union[LoopNest, ScalarBlock]
+
+
+class Program:
+    """A whole benchmark: arrays plus an ordered list of nests/blocks.
+
+    The program assigns base addresses to its arrays (contiguous,
+    ``align``-byte aligned, in declaration order — the Fortran COMMON
+    picture, which is what makes the leading-dimension interference
+    study of figure 11b meaningful).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arrays: Sequence[Array],
+        items: Sequence[ProgramItem],
+        repeat: int = 1,
+        align: int = 32,
+        base_address: int = 0,
+    ) -> None:
+        if repeat < 1:
+            raise CompilerError(f"program {name!r}: repeat must be >= 1")
+        if align < 1:
+            raise CompilerError(f"program {name!r}: align must be >= 1")
+        seen: Dict[str, Array] = {}
+        for a in arrays:
+            if a.name in seen:
+                raise CompilerError(f"program {name!r}: duplicate array {a.name!r}")
+            seen[a.name] = a
+        for item in items:
+            if isinstance(item, LoopNest):
+                for ref in item.all_refs:
+                    if ref.array not in seen:
+                        raise CompilerError(
+                            f"program {name!r}: reference to undeclared array "
+                            f"{ref.array!r}"
+                        )
+        self.name = name
+        self.arrays = seen
+        self.items = list(items)
+        self.repeat = repeat
+        self.align = align
+        self.base_address = base_address
+        self._bases: Optional[Dict[str, int]] = None
+
+    def layout(self) -> Dict[str, int]:
+        """Base byte address of every array (computed once, then cached)."""
+        if self._bases is None:
+            bases: Dict[str, int] = {}
+            cursor = self.base_address
+            for a in self.arrays.values():
+                cursor = (cursor + self.align - 1) // self.align * self.align
+                bases[a.name] = cursor
+                cursor += a.size_bytes
+            self._bases = bases
+        return self._bases
+
+    @property
+    def nests(self) -> List[LoopNest]:
+        return [item for item in self.items if isinstance(item, LoopNest)]
+
+    @property
+    def references(self) -> int:
+        """Dynamic references per single repetition."""
+        total = 0
+        for item in self.items:
+            if isinstance(item, LoopNest):
+                total += item.references
+            else:
+                total += item.count
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program({self.name!r}, arrays={len(self.arrays)}, "
+            f"items={len(self.items)}, refs/rep={self.references})"
+        )

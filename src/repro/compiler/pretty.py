@@ -1,0 +1,101 @@
+"""Fortran-style pretty-printing of loop nests.
+
+Renders a :class:`~repro.compiler.loopnest.LoopNest` (optionally with
+its derived tags) the way the paper prints its figure 5 listing, so
+``python -m repro tags`` and the documentation can show models in a
+shape a Fortran programmer recognises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .locality import NestTags
+from .loopnest import ArrayRef, LoopNest, Program, ScalarBlock
+
+INDENT = "   "
+
+
+def format_ref(ref: ArrayRef) -> str:
+    """``A(j2,j1)`` — subscripts in source order, aliases as written."""
+    subscripts = ",".join(str(s) for s in ref.subscripts)
+    rendered = f"{ref.array}({subscripts})"
+    if ref.indirect is not None:
+        rendered = f"{ref.array}(tbl[{subscripts}])"
+    return rendered
+
+
+def _tag_suffix(tag) -> str:
+    return f"  ! T={int(tag.temporal)} S={int(tag.spatial)}"
+
+
+def format_nest(nest: LoopNest, tags: Optional[NestTags] = None) -> str:
+    """A DO-loop listing with one line per reference.
+
+    With ``tags`` supplied, every reference line carries the derived
+    temporal/spatial bits as a trailing comment — the same information
+    the paper's ``call trace(...)`` instrumentation encodes.
+    """
+    lines: List[str] = []
+    if nest.aliases:
+        rendered = ", ".join(f"{k} = {v}" for k, v in nest.aliases)
+        lines.append(f"! aliases: {rendered}")
+
+    def emit_ref(ref: ArrayRef, depth: int, tag=None) -> None:
+        kind = "store" if ref.is_write else "load "
+        line = f"{INDENT * depth}{kind} {format_ref(ref)}"
+        if tag is not None:
+            line += _tag_suffix(tag)
+        lines.append(line)
+
+    depth = 0
+    for loop in nest.loops[:-1]:
+        upper = loop.upper - 1
+        suffix = f",{loop.step}" if loop.step != 1 else ""
+        call = "   ! opaque (call boundary)" if loop.opaque else ""
+        lines.append(
+            f"{INDENT * depth}DO {loop.index} = {loop.lower},{upper}{suffix}{call}"
+        )
+        depth += 1
+
+    for k, ref in enumerate(nest.pre):
+        emit_ref(ref, depth, tags.pre[k] if tags else None)
+
+    inner = nest.innermost
+    suffix = f",{inner.step}" if inner.step != 1 else ""
+    call = "   ! opaque (call boundary)" if inner.opaque else ""
+    lines.append(
+        f"{INDENT * depth}DO {inner.index} = {inner.lower},{inner.upper - 1}"
+        f"{suffix}{call}"
+    )
+    if nest.has_call:
+        lines.append(f"{INDENT * (depth + 1)}CALL ...   ! tags cleared")
+    for k, ref in enumerate(nest.body):
+        emit_ref(ref, depth + 1, tags.body[k] if tags else None)
+    lines.append(f"{INDENT * depth}ENDDO")
+
+    for k, ref in enumerate(nest.post):
+        emit_ref(ref, depth, tags.post[k] if tags else None)
+
+    for _ in range(depth):
+        depth -= 1
+        lines.append(f"{INDENT * depth}ENDDO")
+    return "\n".join(lines)
+
+
+def format_program(
+    program: Program, tags: Optional[Dict[int, NestTags]] = None
+) -> str:
+    """Every nest of a program, with headers and scalar-block notes."""
+    parts: List[str] = []
+    for position, item in enumerate(program.items):
+        if isinstance(item, ScalarBlock):
+            parts.append(
+                f"! {item.name or 'scalar block'}: {item.count} untagged "
+                f"scalar references"
+            )
+            continue
+        header = f"! nest {item.name or position}"
+        nest_tags = tags.get(position) if tags else None
+        parts.append(header + "\n" + format_nest(item, nest_tags))
+    return "\n\n".join(parts)

@@ -1,0 +1,266 @@
+"""Instrumented trace generation ("source-code tracing", paper §3.1).
+
+The paper instruments every array reference of the benchmark source with
+a call ``trace(reference, read/write, temporal, spatial)`` and draws an
+inter-reference time gap from the measured figure 4b distribution at
+trace-extraction time, recording it *in* the trace so repeated
+simulations are identical.
+
+:func:`generate_trace` is the equivalent for our loop-nest IR: it
+"executes" each nest (vectorised with numpy over the whole iteration
+space), attaches the tags computed by :mod:`repro.compiler.locality`, and
+draws the gaps once with a seeded generator.  Per outer iteration the
+emitted order is ``pre`` references, then ``inner_trip`` repetitions of
+the body, then ``post`` references — exactly the order the instrumented
+Fortran would call ``trace(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CompilerError
+from ..memtrace.timing import FIG4B_DISTRIBUTION, GapDistribution
+from ..memtrace.trace import Trace, TraceBuilder
+from .locality import NestTags, RefTags, analyze_program
+from .loopnest import Array, ArrayRef, Loop, LoopNest, Program, ScalarBlock
+
+#: Guard against accidentally huge iteration spaces (pure-Python cache
+#: simulation of the result would never finish anyway).
+MAX_REFERENCES = 50_000_000
+
+Columns = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _broadcast_env(loops: Sequence[Loop]) -> Dict[str, np.ndarray]:
+    """Loop-index value arrays shaped for mutual broadcasting.
+
+    Loop ``j`` (0-based position among ``k`` loops) gets shape
+    ``(1,...,t_j,...,1)`` so that any affine combination broadcasts to the
+    full iteration space with the outermost loop varying slowest.
+    """
+    k = len(loops)
+    env: Dict[str, np.ndarray] = {}
+    for position, loop in enumerate(loops):
+        shape = [1] * k
+        shape[position] = loop.trip_count
+        env[loop.index] = loop.values().reshape(shape)
+    return env
+
+
+def _ref_addresses(
+    ref: ArrayRef,
+    array: Array,
+    base: int,
+    env: Dict[str, np.ndarray],
+    space_shape: Tuple[int, ...],
+) -> np.ndarray:
+    """Flat (iteration-ordered) byte addresses issued by one reference."""
+    if ref.indirect is not None:
+        table = ref.indirect_table()
+        position = ref.subscripts[0].evaluate(env)
+        position = np.broadcast_to(np.asarray(position), space_shape)
+        if position.size and (
+            position.min() < 0 or position.max() >= len(table)
+        ):
+            raise CompilerError(
+                f"indirect reference to {ref.array!r}: table position out "
+                f"of range [0, {len(table)})"
+            )
+        offsets = table[position.ravel()]
+    else:
+        offsets = 0
+        for subscript, stride in zip(ref.subscripts, array.strides()):
+            offsets = offsets + subscript.evaluate(env) * stride
+        offsets = np.broadcast_to(np.asarray(offsets), space_shape).ravel()
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.size and (
+        offsets.min() < 0 or offsets.max() >= array.elements
+    ):
+        raise CompilerError(
+            f"reference to {ref.array!r} indexes outside the array "
+            f"(offsets in [{offsets.min()}, {offsets.max()}], "
+            f"array has {array.elements} elements)"
+        )
+    return base + array.element_size * offsets
+
+
+def _level_addresses(
+    refs: Sequence[ArrayRef],
+    loops: Sequence[Loop],
+    arrays: Dict[str, Array],
+    bases: Dict[str, int],
+) -> np.ndarray:
+    """Addresses of references at one loop level: shape ``(iters, n_refs)``."""
+    iterations = 1
+    for loop in loops:
+        iterations *= loop.trip_count
+    if not refs:
+        return np.empty((iterations, 0), dtype=np.int64)
+    env = _broadcast_env(loops)
+    space_shape = tuple(loop.trip_count for loop in loops) or (1,)
+    if not loops:
+        env = {}
+    per_ref = [
+        _ref_addresses(r, arrays[r.array], bases[r.array], env, space_shape)
+        for r in refs
+    ]
+    return np.stack(per_ref, axis=1)
+
+
+def _row_pattern(
+    nest: LoopNest, tags: NestTags, ref_id_base: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Static per-outer-iteration pattern of flags and instruction ids.
+
+    One outer iteration emits ``pre + inner_trip * body + post``
+    references; this returns the (is_write, temporal, spatial, ref_id)
+    values of that whole row.
+    """
+    inner_trip = nest.innermost.trip_count
+    n_pre, n_body = len(nest.pre), len(nest.body)
+
+    def build(values: List) -> np.ndarray:
+        pre = values[:n_pre]
+        body = values[n_pre : n_pre + n_body]
+        post = values[n_pre + n_body :]
+        return np.array(pre + body * inner_trip + post)
+
+    refs = list(nest.pre) + list(nest.body) + list(nest.post)
+    all_tags = list(tags.pre) + list(tags.body) + list(tags.post)
+    is_write = build([r.is_write for r in refs]).astype(bool)
+    temporal = build([t.temporal for t in all_tags]).astype(bool)
+    spatial = build([t.spatial for t in all_tags]).astype(bool)
+    ref_ids = build([ref_id_base + i for i in range(len(refs))]).astype(np.int64)
+    return is_write, temporal, spatial, ref_ids
+
+
+def generate_nest_columns(
+    nest: LoopNest,
+    arrays: Dict[str, Array],
+    bases: Dict[str, int],
+    tags: NestTags,
+    ref_id_base: int,
+) -> Columns:
+    """Trace columns (addr, write, temporal, spatial, ref_id) for one nest.
+
+    Addresses are always generated from the alias-expanded nest — the
+    hardware sees concrete addresses regardless of how the source spelt
+    the subscript; only the *tags* depend on whether the analysis could
+    expand.
+    """
+    nest = nest.expanded()
+    if nest.references > MAX_REFERENCES:
+        raise CompilerError(
+            f"nest {nest.name!r} would generate {nest.references} "
+            f"references (limit {MAX_REFERENCES})"
+        )
+    if (
+        len(tags.pre) != len(nest.pre)
+        or len(tags.body) != len(nest.body)
+        or len(tags.post) != len(nest.post)
+    ):
+        raise CompilerError("tag shape does not match nest")
+
+    outer = nest.outer_iterations
+    inner_trip = nest.innermost.trip_count
+
+    body_addr = _level_addresses(nest.body, nest.loops, arrays, bases)
+    body_addr = body_addr.reshape(outer, inner_trip * len(nest.body))
+    pre_addr = _level_addresses(nest.pre, nest.outer_loops, arrays, bases)
+    post_addr = _level_addresses(nest.post, nest.outer_loops, arrays, bases)
+    pre_addr = pre_addr.reshape(outer, len(nest.pre))
+    post_addr = post_addr.reshape(outer, len(nest.post))
+
+    addresses = np.concatenate([pre_addr, body_addr, post_addr], axis=1).reshape(-1)
+    is_write, temporal, spatial, ref_ids = _row_pattern(nest, tags, ref_id_base)
+    return (
+        addresses,
+        np.tile(is_write, outer),
+        np.tile(temporal, outer),
+        np.tile(spatial, outer),
+        np.tile(ref_ids, outer),
+    )
+
+
+def generate_block_columns(block: ScalarBlock, ref_id_base: int) -> Columns:
+    """Trace columns for an untagged scalar block."""
+    n = block.count
+    addresses = np.resize(np.asarray(block.addresses, dtype=np.int64), n)
+    is_write = np.zeros(n, dtype=bool)
+    if block.write_every > 0:
+        is_write[block.write_every - 1 :: block.write_every] = True
+    flags = np.zeros(n, dtype=bool)
+    ref_ids = np.resize(
+        np.arange(ref_id_base, ref_id_base + len(block.addresses), dtype=np.int64),
+        n,
+    )
+    return addresses, is_write, flags, flags.copy(), ref_ids
+
+
+def generate_trace(
+    program: Program,
+    seed: int = 0,
+    gap_distribution: GapDistribution = FIG4B_DISTRIBUTION,
+    name: Optional[str] = None,
+    spatial_threshold: int = 4,
+    expand_subscripts: bool = False,
+    policy: str = "elementary",
+) -> Trace:
+    """Execute a program and emit its instrumented memory trace.
+
+    Tags come from :func:`repro.compiler.locality.analyze_program`; gaps
+    are drawn once for the whole trace with a generator seeded by ``seed``
+    (the paper records gaps in the trace so repeated simulations of the
+    same trace are deterministic — so are we, given the same seed).
+    """
+    bases = program.layout()
+    tag_map = analyze_program(
+        program, spatial_threshold,
+        expand_subscripts=expand_subscripts, policy=policy,
+    )
+
+    # Static instruction identities: assigned per program item *before*
+    # the repetition loop, so that the same source reference keeps the
+    # same ref_id across repetitions (figure 1b needs this).
+    id_base: Dict[int, int] = {}
+    cursor = 0
+    for position, item in enumerate(program.items):
+        id_base[position] = cursor
+        if isinstance(item, LoopNest):
+            cursor += len(item.all_refs)
+        else:
+            cursor += len(item.addresses)
+
+    builder = TraceBuilder(name=name or program.name)
+    for _ in range(program.repeat):
+        for position, item in enumerate(program.items):
+            if isinstance(item, LoopNest):
+                cols = generate_nest_columns(
+                    item,
+                    program.arrays,
+                    bases,
+                    tag_map[position],
+                    id_base[position],
+                )
+            else:
+                cols = generate_block_columns(item, id_base[position])
+            addresses, is_write, temporal, spatial, ref_ids = cols
+            builder.append_block(
+                addresses, is_write, temporal, spatial,
+                np.ones(len(addresses), dtype=np.int64), ref_ids,
+            )
+    trace = builder.freeze()
+    rng = np.random.default_rng(seed)
+    gaps = gap_distribution.sample(len(trace), rng)
+    return Trace(
+        trace.addresses,
+        trace.is_write,
+        trace.temporal,
+        trace.spatial,
+        gaps,
+        name=trace.name,
+        ref_ids=trace.ref_ids,
+    )

@@ -1,0 +1,171 @@
+"""Loop transformations: interchange and strip-mining.
+
+Section 3.2 observes that many Perfect Club loops are "badly ordered,
+inducing non stride-one references, and preventing the use of virtual
+lines"; section 4 argues software-assisted caches are a convenient
+target for data-locality transformations.  This module provides the two
+classic ones, with conservative legality checks:
+
+* :func:`interchange` — permute the loops of a nest (fixes bad loop
+  order, turning a leading-dimension stride into stride one);
+* :func:`strip_mine` — split one loop into a block loop and an element
+  loop (the building block of blocking, section 4.2).
+
+Legality here is the textbook conservative test on the affine subscript
+level: a transformation is refused when the nest carries a
+loop-carried dependence involving a write (uniformly generated groups
+whose members differ by a constant, non-uniform read/write pairs to the
+same array, or indirect writes).  Reordering a nest with only
+loop-independent dependences is always safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..errors import CompilerError
+from .affine import Affine, var
+from .locality import linearize
+from .loopnest import Array, ArrayRef, Loop, LoopNest
+
+
+def _carries_write_dependence(
+    nest: LoopNest, arrays: Dict[str, Array]
+) -> bool:
+    """Conservative test: does any write participate in a (possibly)
+    loop-carried dependence?"""
+    offsets = []
+    for ref in nest.body:
+        if ref.indirect is not None:
+            if ref.is_write:
+                return True  # indirect writes: give up
+            offsets.append(None)
+        else:
+            offsets.append(linearize(ref, arrays[ref.array]))
+    n = len(nest.body)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = nest.body[i], nest.body[j]
+            if a.array != b.array or not (a.is_write or b.is_write):
+                continue
+            oa, ob = offsets[i], offsets[j]
+            if oa is None or ob is None:
+                return True
+            if oa.drop_const() != ob.drop_const():
+                return True  # non-uniform pair: direction unknown
+            if oa.const != ob.const:
+                return True  # uniformly generated, carried dependence
+    return False
+
+
+def interchange(
+    nest: LoopNest,
+    order: Sequence[str],
+    arrays: Dict[str, Array],
+) -> LoopNest:
+    """Permute the loops of a nest into ``order`` (outermost first).
+
+    Raises :class:`CompilerError` when the permutation is malformed or
+    the conservative legality test fails.  ``pre``/``post`` references
+    pin their loop level, so nests carrying them cannot be interchanged.
+    """
+    nest = nest.expanded()  # legality reasoning needs pure loop indices
+    current = [loop.index for loop in nest.loops]
+    if sorted(order) != sorted(current):
+        raise CompilerError(
+            f"interchange order {list(order)} is not a permutation of "
+            f"{current}"
+        )
+    if nest.pre or nest.post:
+        raise CompilerError(
+            "cannot interchange a nest with pre/post references"
+        )
+    if list(order) != current and _carries_write_dependence(nest, arrays):
+        raise CompilerError(
+            f"nest {nest.name!r} carries a write dependence: interchange "
+            f"refused"
+        )
+    by_name = {loop.index: loop for loop in nest.loops}
+    return LoopNest(
+        loops=tuple(by_name[name] for name in order),
+        body=nest.body,
+        has_call=nest.has_call,
+        name=f"{nest.name}-interchanged" if nest.name else "interchanged",
+    )
+
+
+def strip_mine(
+    nest: LoopNest,
+    index: str,
+    block: int,
+    arrays: Dict[str, Array],
+    outer_suffix: str = "_blk",
+) -> LoopNest:
+    """Split loop ``index`` into a block loop and an element loop.
+
+    ``DO i = 0, N-1`` becomes ``DO i_blk = 0, N/B-1 / DO i = 0, B-1``
+    with every subscript rewritten via ``i := i_blk * B + i``.  The trip
+    count must be a multiple of ``block`` (no remainder loop is
+    generated).  Strip-mining never changes the order of *body*
+    references, so it is always legal; combined with loop reordering it
+    yields blocking.  ``pre``/``post`` references stay attached to the
+    around-the-innermost-loop position, so mining the innermost loop
+    replicates them once per block — exactly what blocking does to an
+    accumulator (``reg = Y(j1)`` re-executed per block).
+    """
+    nest = nest.expanded()  # substitution needs pure loop indices
+    position = next(
+        (k for k, loop in enumerate(nest.loops) if loop.index == index), None
+    )
+    if position is None:
+        raise CompilerError(f"no loop {index!r} in nest {nest.name!r}")
+    loop = nest.loops[position]
+    if loop.step != 1:
+        raise CompilerError("strip-mining non-unit-step loops is unsupported")
+    trips = loop.trip_count
+    if block < 1 or trips % block != 0:
+        raise CompilerError(
+            f"block {block} does not tile the {trips}-trip loop {index!r}"
+        )
+    outer_name = index + outer_suffix
+    if any(l.index == outer_name for l in nest.loops):
+        raise CompilerError(f"loop name {outer_name!r} already in use")
+
+    replacement = var(outer_name) * block + var(index) + loop.lower
+    outer = Loop(outer_name, 0, trips // block, opaque=loop.opaque)
+    inner = Loop(index, 0, block)
+
+    def rewrite(ref: ArrayRef) -> ArrayRef:
+        return ArrayRef(
+            array=ref.array,
+            subscripts=tuple(
+                s.substitute(index, replacement) for s in ref.subscripts
+            ),
+            is_write=ref.is_write,
+            indirect=ref.indirect,
+            temporal=ref.temporal,
+            spatial=ref.spatial,
+            parametric_stride=ref.parametric_stride,
+        )
+
+    loops = (
+        nest.loops[:position] + (outer, inner) + nest.loops[position + 1 :]
+    )
+    inner_most = loops[-1].index
+    pre = tuple(rewrite(r) for r in nest.pre)
+    post = tuple(rewrite(r) for r in nest.post)
+    if any(
+        inner_most in s.variables for r in pre + post for s in r.subscripts
+    ):
+        raise CompilerError(
+            "strip-mining would move pre/post references inside the "
+            "innermost loop"
+        )
+    return LoopNest(
+        loops=loops,
+        body=tuple(rewrite(r) for r in nest.body),
+        pre=pre,
+        post=post,
+        has_call=nest.has_call,
+        name=f"{nest.name}-B{block}" if nest.name else f"stripmined-B{block}",
+    )

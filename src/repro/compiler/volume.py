@@ -1,0 +1,96 @@
+"""Volume-aware temporal tagging — the paper's "more sophisticated
+techniques might bring further improvements" (conclusions), implemented.
+
+The elementary section 2.3 analysis tags *any* temporal dependence, even
+when the reuse distance exceeds what any cache of the target size could
+retain — the line then bounces once through the bounce-back cache for
+nothing, evicting a live line (the stale-bounce effect visible on MDG in
+figure 6a).  Wolf & Lam-style locality algorithms weigh reuse against
+the *volume* of data touched between reuses; this module implements that
+refinement at the same subscript-analysis level of effort:
+
+* for a self-dependence carried by loop ``l`` (a zero-coefficient,
+  non-opaque loop), the reuse distance is the number of references
+  issued by one iteration of ``l``'s *inner* loops;
+* for a uniformly generated group dependence with constant difference
+  ``d`` carried by a loop with coefficient ``c`` (``d = k*c``), the
+  distance is ``k`` iterations of that loop's inner reference volume;
+* the temporal tag survives only if the smallest such distance fits the
+  retention budget — by default the paper's own estimate of a line's
+  average lifetime in an 8 KB cache, ~2500 references (section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .affine import Affine
+from .loopnest import Loop, LoopNest
+
+#: The paper's estimate (section 1) puts the average lifetime of a line
+#: in an 8 KB / 32 B cache at roughly 2500 references; the bounce-back
+#: mechanism saves a line once per touch, roughly doubling its effective
+#: lifetime — so reuse within ~2 x 2500 references is still worth
+#: protecting.
+DEFAULT_RETENTION_REFS = 5000
+
+#: Effectively-infinite distance for unreachable reuse.
+UNREACHABLE = 1 << 60
+
+
+def _refs_per_iteration(loops: Sequence[Loop], position: int, n_refs: int) -> int:
+    """References issued by one iteration of ``loops[position]``.
+
+    The product of the inner trip counts times the number of references
+    per innermost iteration — the same coarse accounting the paper uses
+    for its 2500-reference lifetime estimate.
+    """
+    volume = n_refs
+    for loop in loops[position + 1 :]:
+        volume *= max(1, loop.trip_count)
+    return volume
+
+
+def self_reuse_distance(
+    offset: Affine, loops: Sequence[Loop], n_refs: int
+) -> int:
+    """Smallest reuse distance of a loop-invariant reference, in
+    references (UNREACHABLE if no carrying loop exists)."""
+    best = UNREACHABLE
+    for position, loop in enumerate(loops):
+        if loop.opaque or loop.trip_count < 2:
+            continue
+        if offset.coefficient(loop.index) != 0:
+            continue
+        best = min(best, _refs_per_iteration(loops, position, n_refs))
+    return best
+
+
+def group_reuse_distance(
+    difference: int, offset: Affine, loops: Sequence[Loop], n_refs: int
+) -> int:
+    """Smallest reuse distance of a uniformly generated group dependence
+    whose members' constants differ by ``difference``."""
+    if difference == 0:
+        return 0  # same-iteration read/write pair
+    magnitude = abs(difference)
+    best = UNREACHABLE
+    for position, loop in enumerate(loops):
+        if loop.opaque:
+            continue
+        coefficient = offset.coefficient(loop.index) * loop.step
+        if coefficient == 0 or magnitude % abs(coefficient) != 0:
+            continue
+        iterations = magnitude // abs(coefficient)
+        if iterations >= loop.trip_count:
+            continue  # the dependence never materialises
+        best = min(
+            best,
+            iterations * _refs_per_iteration(loops, position, n_refs),
+        )
+    return best
+
+
+def reachable(distance: int, retention_refs: int = DEFAULT_RETENTION_REFS) -> bool:
+    """Would a line survive in cache across ``distance`` references?"""
+    return distance <= retention_refs

@@ -1,0 +1,18 @@
+"""The paper's contribution: the software-assisted data cache."""
+
+from . import presets
+from .assist_hp import HPAssistCache
+from .bounce_back import BounceBackBuffer, make_entry
+from .config import PAPER_SOFT, PAPER_STANDARD, SoftCacheConfig
+from .software_cache import SoftwareAssistedCache
+
+__all__ = [
+    "SoftCacheConfig",
+    "PAPER_SOFT",
+    "PAPER_STANDARD",
+    "SoftwareAssistedCache",
+    "HPAssistCache",
+    "BounceBackBuffer",
+    "make_entry",
+    "presets",
+]

@@ -1,0 +1,131 @@
+"""The bounce-back cache structure (paper section 2.2).
+
+A small buffer behind the main cache that receives *every* line evicted
+from it (so it doubles as Jouppi's victim cache when software control is
+inactive).  Replacement is LRU; on eviction the software-assisted cache
+decides whether the line bounces back to the main cache (temporal bit
+set) or is discarded.  The same structure doubles as the prefetch buffer
+of section 4.4: prefetched lines carry a flag and an arrival time.
+
+Entries are small mutable lists for hot-path speed::
+
+    [line_address, dirty, temporal_bit, prefetched, arrival_time]
+
+The buffer is fully associative by default; the paper notes a 4-way
+version "performs reasonably well", so ``ways`` is configurable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+
+#: Entry field indices.
+ADDR, DIRTY, TEMPORAL, PREFETCHED, ARRIVAL = range(5)
+
+Entry = List  # [line_address, dirty, temporal, prefetched, arrival]
+
+
+def make_entry(
+    line_address: int,
+    dirty: bool = False,
+    temporal: bool = False,
+    prefetched: bool = False,
+    arrival: int = 0,
+) -> Entry:
+    """Build a buffer entry."""
+    return [line_address, dirty, temporal, prefetched, arrival]
+
+
+class BounceBackBuffer:
+    """Set-associative (default: fully associative) LRU victim store."""
+
+    def __init__(self, lines: int, ways: int = 0) -> None:
+        if lines < 0:
+            raise ConfigError(f"buffer size must be >= 0 lines: {lines}")
+        if ways < 0:
+            raise ConfigError(f"buffer associativity must be >= 0: {ways}")
+        if ways == 0 or ways >= lines:
+            ways = max(lines, 1)
+        if lines and lines % ways != 0:
+            raise ConfigError(
+                f"{lines} lines do not divide into {ways}-way sets"
+            )
+        self.lines = lines
+        self.ways = ways
+        self.n_sets = max(1, lines // ways) if lines else 1
+        # MRU-first entry lists.
+        self._sets: List[List[Entry]] = [[] for _ in range(self.n_sets)]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _set_of(self, line_address: int) -> List[Entry]:
+        return self._sets[line_address % self.n_sets]
+
+    def find(self, line_address: int) -> Optional[Entry]:
+        """Presence probe without LRU update (coherence checks)."""
+        for entry in self._set_of(line_address):
+            if entry[ADDR] == line_address:
+                return entry
+        return None
+
+    def lookup_remove(self, line_address: int) -> Optional[Entry]:
+        """Find and remove an entry (the swap path of a hit)."""
+        entries = self._set_of(line_address)
+        for i, entry in enumerate(entries):
+            if entry[ADDR] == line_address:
+                del entries[i]
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Insertion / eviction
+    # ------------------------------------------------------------------
+    def insert(self, entry: Entry) -> Optional[Entry]:
+        """Insert at MRU; returns the evicted LRU entry when full.
+
+        With ``lines == 0`` the buffer is absent: the entry itself is
+        returned, i.e. "evicted immediately".
+        """
+        if self.lines == 0:
+            return entry
+        entries = self._set_of(entry[ADDR])
+        evicted = entries.pop() if len(entries) >= self.ways else None
+        entries.insert(0, entry)
+        return evicted
+
+    def evict_lru_prefetched(self, set_hint: int) -> Optional[Entry]:
+        """Remove the LRU *prefetched* entry (prefetch admission rule).
+
+        Section 4.4: once the maximum number of prefetched lines is
+        reached, "a prefetched line preferably replaces other prefetched
+        lines".  ``set_hint`` selects the set for set-associative buffers.
+        """
+        entries = self._sets[set_hint % self.n_sets]
+        for i in range(len(entries) - 1, -1, -1):
+            if entries[i][PREFETCHED]:
+                return entries.pop(i)
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, line_address: int) -> bool:
+        return self.find(line_address) is not None
+
+    def prefetched_count(self) -> int:
+        return sum(
+            1 for s in self._sets for entry in s if entry[PREFETCHED]
+        )
+
+    def entries(self) -> List[Entry]:
+        """All entries (testing hook, no particular global order)."""
+        return [entry for s in self._sets for entry in s]
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]

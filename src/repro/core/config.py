@@ -1,0 +1,138 @@
+"""Configuration of the software-assisted cache.
+
+The full mechanism of the paper ("Soft.") is: 8 KB direct-mapped main
+cache, 32-byte physical lines, 64-byte virtual lines, 256-byte (8-line)
+fully-associative bounce-back cache, on top of the section 3.1 timing.
+Every mechanism can be disabled independently, which is how all the
+paper's configurations are expressed:
+
+===============================  =============================================
+paper configuration              flags
+===============================  =============================================
+Standard                         ``bounce_back_lines=0, virtual_line_size=None``
+Standard + victim cache          ``use_temporal=False, virtual_line_size=None``
+Soft. for Temporal only          ``virtual_line_size=None``
+Soft. for Spatial only           ``use_temporal=False``
+Soft. (full)                     defaults
+simplified Soft. (fig 9b)        ``bounce_back_lines=0, temporal_priority=True``
+Stand./Soft. + prefetching       ``prefetch="on-miss"`` / ``prefetch="software"``
+===============================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import ConfigError
+from ..sim.geometry import CacheGeometry
+from ..sim.timing import MemoryTiming
+
+#: Valid prefetch modes: disabled, software-assisted (only spatial-tagged
+#: misses prefetch, section 4.4) or blind prefetch-on-every-miss.
+PREFETCH_MODES = ("off", "software", "on-miss")
+
+
+@dataclass(frozen=True)
+class SoftCacheConfig:
+    """Complete parameterisation of :class:`SoftwareAssistedCache`."""
+
+    size_bytes: int = 8 * 1024
+    line_size: int = 32
+    ways: int = 1
+    bounce_back_lines: int = 8
+    bounce_back_ways: int = 0  # 0 = fully associative
+    virtual_line_size: Optional[int] = 64  # None = virtual lines disabled
+    use_temporal: bool = True
+    temporal_priority: bool = False
+    reset_temporal_on_bounce: bool = True
+    #: Admit every main-cache victim into the bounce-back cache (the
+    #: paper's choice: it then doubles as a victim cache for spatial
+    #: interferences).  False = only temporal-tagged victims enter (the
+    #: "more natural" variant the paper measured to be globally worse).
+    admit_non_temporal: bool = True
+    prefetch: str = "off"
+    max_prefetched: int = 4
+    timing: MemoryTiming = field(default_factory=MemoryTiming)
+
+    def __post_init__(self) -> None:
+        # Geometry constructor validates size/line/ways coherence.
+        _ = self.geometry
+        if self.bounce_back_lines < 0:
+            raise ConfigError("bounce_back_lines must be >= 0")
+        if self.bounce_back_ways < 0:
+            raise ConfigError("bounce_back_ways must be >= 0")
+        if (
+            self.bounce_back_ways
+            and self.bounce_back_lines % self.bounce_back_ways != 0
+        ):
+            raise ConfigError(
+                f"{self.bounce_back_lines} bounce-back lines do not divide "
+                f"into {self.bounce_back_ways}-way sets"
+            )
+        vl = self.virtual_line_size
+        if vl is not None:
+            if vl < self.line_size or vl % self.line_size != 0:
+                raise ConfigError(
+                    f"virtual line ({vl} B) must be a multiple of the "
+                    f"physical line ({self.line_size} B)"
+                )
+            if vl & (vl - 1):
+                raise ConfigError(f"virtual line must be a power of two: {vl}")
+            if vl > self.size_bytes:
+                raise ConfigError("virtual line cannot exceed the cache size")
+        if self.prefetch not in PREFETCH_MODES:
+            raise ConfigError(
+                f"prefetch mode {self.prefetch!r} not in {PREFETCH_MODES}"
+            )
+        if self.prefetch != "off" and self.bounce_back_lines == 0:
+            raise ConfigError(
+                "prefetching uses the bounce-back cache as prefetch buffer; "
+                "bounce_back_lines must be > 0"
+            )
+        if self.max_prefetched < 1:
+            raise ConfigError("max_prefetched must be >= 1")
+        if self.use_temporal is False and self.temporal_priority:
+            raise ConfigError(
+                "temporal_priority replacement needs the temporal tags"
+            )
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return CacheGeometry(self.size_bytes, self.line_size, self.ways)
+
+    @property
+    def virtual_lines_per_fetch(self) -> int:
+        """Physical lines per virtual line (1 when disabled)."""
+        if self.virtual_line_size is None:
+            return 1
+        return self.virtual_line_size // self.line_size
+
+    def derive(self, **changes) -> "SoftCacheConfig":
+        """A modified copy (sweeps change one knob at a time)."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        """Short human-readable description for result tables."""
+        parts = [f"{self.size_bytes // 1024}KB/{self.line_size}B"]
+        if self.ways > 1:
+            parts.append(f"{self.ways}-way")
+        if self.virtual_line_size:
+            parts.append(f"VL{self.virtual_line_size}")
+        if self.bounce_back_lines:
+            kind = "BB" if self.use_temporal else "victim"
+            parts.append(f"{kind}{self.bounce_back_lines}")
+        if self.temporal_priority:
+            parts.append("Tprio")
+        if self.prefetch != "off":
+            parts.append(f"pf:{self.prefetch}")
+        return " ".join(parts)
+
+
+#: The paper's full "Soft." configuration.
+PAPER_SOFT = SoftCacheConfig()
+
+#: The paper's "Standard" configuration (Alpha / R4000 / Pentium data cache).
+PAPER_STANDARD = SoftCacheConfig(
+    bounce_back_lines=0, virtual_line_size=None, use_temporal=False
+)

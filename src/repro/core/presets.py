@@ -1,0 +1,248 @@
+"""Factory functions for every cache configuration the paper evaluates.
+
+Each function returns a fresh model; all accept the shared knobs
+(``size_bytes``, ``line_size``, ``ways``, ``timing``) so the sweeps of
+figures 8-10 are one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.bypass import BypassCache
+from ..sim.geometry import CacheGeometry
+from ..sim.standard import StandardCache
+from ..sim.timing import MemoryTiming
+from .config import SoftCacheConfig
+from .software_cache import SoftwareAssistedCache
+
+__all__ = [
+    "standard",
+    "standard_cache",
+    "victim",
+    "soft",
+    "soft_temporal_only",
+    "soft_spatial_only",
+    "bypass",
+    "bypass_buffered",
+    "temporal_priority",
+    "soft_prefetch",
+    "standard_prefetch",
+]
+
+
+def _timing(timing: Optional[MemoryTiming]) -> MemoryTiming:
+    return timing if timing is not None else MemoryTiming()
+
+
+def standard_cache(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    timing: Optional[MemoryTiming] = None,
+) -> StandardCache:
+    """The independently implemented Standard baseline (cross-validation)."""
+    return StandardCache(
+        CacheGeometry(size_bytes, line_size, ways), _timing(timing)
+    )
+
+
+def standard(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    timing: Optional[MemoryTiming] = None,
+) -> SoftwareAssistedCache:
+    """"Standard": plain cache, no assistance (fig 3, 6-10 baseline)."""
+    config = SoftCacheConfig(
+        size_bytes=size_bytes,
+        line_size=line_size,
+        ways=ways,
+        bounce_back_lines=0,
+        virtual_line_size=None,
+        use_temporal=False,
+        timing=_timing(timing),
+    )
+    return SoftwareAssistedCache(config, name=f"Stand. {config.label()}")
+
+
+def victim(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    victim_lines: int = 8,
+    timing: Optional[MemoryTiming] = None,
+) -> SoftwareAssistedCache:
+    """"Stand.+Victim": the bounce-back buffer demoted to a victim cache
+    (no temporal information, no virtual lines) — figure 3b / 9b."""
+    config = SoftCacheConfig(
+        size_bytes=size_bytes,
+        line_size=line_size,
+        ways=ways,
+        bounce_back_lines=victim_lines,
+        virtual_line_size=None,
+        use_temporal=False,
+        timing=_timing(timing),
+    )
+    return SoftwareAssistedCache(config, name=f"Stand.+Victim {config.label()}")
+
+
+def soft(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    virtual_line_size: int = 64,
+    bounce_back_lines: int = 8,
+    timing: Optional[MemoryTiming] = None,
+) -> SoftwareAssistedCache:
+    """"Soft.": the full mechanism (virtual lines + bounce-back cache)."""
+    config = SoftCacheConfig(
+        size_bytes=size_bytes,
+        line_size=line_size,
+        ways=ways,
+        bounce_back_lines=bounce_back_lines,
+        virtual_line_size=virtual_line_size,
+        timing=_timing(timing),
+    )
+    return SoftwareAssistedCache(config, name=f"Soft. {config.label()}")
+
+
+def soft_temporal_only(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    bounce_back_lines: int = 8,
+    timing: Optional[MemoryTiming] = None,
+) -> SoftwareAssistedCache:
+    """"Soft. for Temp. only": bounce-back cache, no virtual lines."""
+    config = SoftCacheConfig(
+        size_bytes=size_bytes,
+        line_size=line_size,
+        ways=ways,
+        bounce_back_lines=bounce_back_lines,
+        virtual_line_size=None,
+        timing=_timing(timing),
+    )
+    return SoftwareAssistedCache(config, name=f"Soft-Temp {config.label()}")
+
+
+def soft_spatial_only(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    virtual_line_size: int = 64,
+    bounce_back_lines: int = 8,
+    timing: Optional[MemoryTiming] = None,
+) -> SoftwareAssistedCache:
+    """"Soft. for Spat. only": virtual lines; the buffer stays a plain
+    victim cache (temporal bits ignored)."""
+    config = SoftCacheConfig(
+        size_bytes=size_bytes,
+        line_size=line_size,
+        ways=ways,
+        bounce_back_lines=bounce_back_lines,
+        virtual_line_size=virtual_line_size,
+        use_temporal=False,
+        timing=_timing(timing),
+    )
+    return SoftwareAssistedCache(config, name=f"Soft-Spat {config.label()}")
+
+
+def bypass(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    timing: Optional[MemoryTiming] = None,
+) -> BypassCache:
+    """Pure software bypassing (fig 3a): non-temporal misses fetch one
+    word and are never cached."""
+    return BypassCache(
+        CacheGeometry(size_bytes, line_size, ways), _timing(timing)
+    )
+
+
+def bypass_buffered(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    buffer_lines: int = 4,
+    timing: Optional[MemoryTiming] = None,
+) -> BypassCache:
+    """Bypassing through a small buffer (fig 3a): the i860-style scheme
+    that recovers spatial locality of bypassed streams."""
+    return BypassCache(
+        CacheGeometry(size_bytes, line_size, ways),
+        _timing(timing),
+        buffer_lines=buffer_lines,
+    )
+
+
+def temporal_priority(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 2,
+    virtual_line_size: int = 64,
+    timing: Optional[MemoryTiming] = None,
+) -> SoftwareAssistedCache:
+    """The simplified set-associative variant of figure 9b: LRU
+    preferentially replaces non-temporal lines; no bounce-back cache."""
+    config = SoftCacheConfig(
+        size_bytes=size_bytes,
+        line_size=line_size,
+        ways=ways,
+        bounce_back_lines=0,
+        virtual_line_size=virtual_line_size,
+        temporal_priority=True,
+        timing=_timing(timing),
+    )
+    return SoftwareAssistedCache(
+        config, name=f"Simplified Soft {config.label()}"
+    )
+
+
+def soft_prefetch(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    virtual_line_size: int = 64,
+    bounce_back_lines: int = 8,
+    max_prefetched: int = 4,
+    timing: Optional[MemoryTiming] = None,
+) -> SoftwareAssistedCache:
+    """"Soft.+Prefetching" (fig 12): progressive software-assisted
+    prefetch through the bounce-back cache."""
+    config = SoftCacheConfig(
+        size_bytes=size_bytes,
+        line_size=line_size,
+        ways=ways,
+        bounce_back_lines=bounce_back_lines,
+        virtual_line_size=virtual_line_size,
+        prefetch="software",
+        max_prefetched=max_prefetched,
+        timing=_timing(timing),
+    )
+    return SoftwareAssistedCache(config, name=f"Soft+Pf {config.label()}")
+
+
+def standard_prefetch(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    buffer_lines: int = 8,
+    max_prefetched: int = 4,
+    timing: Optional[MemoryTiming] = None,
+) -> SoftwareAssistedCache:
+    """"Stand.+Prefetching" (fig 12): blind prefetch-on-miss into a
+    prefetch buffer, no software information."""
+    config = SoftCacheConfig(
+        size_bytes=size_bytes,
+        line_size=line_size,
+        ways=ways,
+        bounce_back_lines=buffer_lines,
+        virtual_line_size=None,
+        use_temporal=False,
+        prefetch="on-miss",
+        max_prefetched=max_prefetched,
+        timing=_timing(timing),
+    )
+    return SoftwareAssistedCache(config, name=f"Stand+Pf {config.label()}")

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid cache, timing or workload configuration was supplied."""
+
+
+class TraceError(ReproError):
+    """A memory trace is malformed or inconsistent."""
+
+
+class CompilerError(ReproError):
+    """A loop nest or affine expression cannot be analysed or generated."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""

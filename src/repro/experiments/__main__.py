@@ -1,0 +1,31 @@
+"""Run the whole figure battery: ``python -m repro.experiments [scale]``."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_FIGURES, EXTENSION_STUDIES
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    scale = args[0] if args else "paper"
+    only = set(args[1:])
+    battery = dict(ALL_FIGURES)
+    if only:  # extensions run only when asked for by name
+        battery.update(EXTENSION_STUDIES)
+    for name, driver in battery.items():
+        if only and name not in only:
+            continue
+        start = time.time()
+        result = driver(scale=scale)
+        elapsed = time.time() - start
+        print(result.table())
+        print(f"[{name}: {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""Ablations of the design choices the paper discusses in prose.
+
+Each function isolates one knob of the bounce-back / virtual-line design
+and reports AMAT across the suite:
+
+* bounce-back cache size — "small bounce-back caches perform nearly as
+  well as large ones" (the smaller the buffer, the sooner a polluted
+  victim returns to the 1-cycle main cache);
+* bounce-back associativity — "a 4-way bounce-back cache would perform
+  reasonably well" vs the fully associative default;
+* admission policy — admitting every victim (the paper's choice: the
+  buffer doubles as a victim cache) vs only temporal-tagged victims
+  (the "more natural" idea the paper rejects);
+* temporal-bit reset after a bounce (the dynamic adjustment) — without
+  it, "dead" reusable data keeps bouncing and pollutes the cache;
+* physical line size under software assistance — 16 B performs close to
+  32 B, which would allow a cheaper processor-cache multiplexer.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Sequence
+
+from ..core.config import SoftCacheConfig
+from ..core.software_cache import SoftwareAssistedCache
+from ..harness.runner import run_sweep
+from ..workloads.registry import suite_traces
+from .common import FigureResult
+
+BB_SIZES = (4, 8, 16, 32)
+
+
+def _soft(**changes) -> SoftwareAssistedCache:
+    return SoftwareAssistedCache(SoftCacheConfig().derive(**changes))
+
+
+def _run(configs, title: str, figure: str, scale: str, seed: int) -> FigureResult:
+    sweep = run_sweep(suite_traces(scale, seed), configs)
+    result = FigureResult(
+        figure=figure, title=title, series=list(configs), metric="AMAT (cycles)"
+    )
+    for bench, row in sweep.metric("amat").items():
+        for config, value in row.items():
+            result.add(bench, config, value)
+    return result
+
+
+def bounce_back_size(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Bounce-back cache size sweep (paper default: 8 lines / 256 B)."""
+    configs = {
+        f"{lines} lines": partial(_soft, bounce_back_lines=lines)
+        for lines in BB_SIZES
+    }
+    return _run(
+        configs, "Bounce-back cache size", "ablation-bbsize", scale, seed
+    )
+
+
+def bounce_back_associativity(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Fully associative vs 4-way bounce-back cache."""
+    configs = {
+        "fully assoc": partial(_soft, bounce_back_ways=0),
+        "4-way": partial(_soft, bounce_back_lines=16, bounce_back_ways=4),
+    }
+    return _run(
+        configs,
+        "Bounce-back cache associativity",
+        "ablation-bbassoc",
+        scale,
+        seed,
+    )
+
+
+def admission_policy(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Victim-for-all admission vs temporal-only admission."""
+    configs = {
+        "admit all victims": partial(_soft, admit_non_temporal=True),
+        "temporal victims only": partial(_soft, admit_non_temporal=False),
+    }
+    return _run(
+        configs, "Bounce-back admission policy", "ablation-admission", scale, seed
+    )
+
+
+def temporal_reset(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Dynamic adjustment: reset the temporal bit after bouncing."""
+    configs = {
+        "reset on bounce": partial(_soft, reset_temporal_on_bounce=True),
+        "no reset": partial(_soft, reset_temporal_on_bounce=False),
+    }
+    return _run(
+        configs, "Temporal-bit reset after bounce", "ablation-reset", scale, seed
+    )
+
+
+def write_policy(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Write-back vs write-through on the Standard baseline.
+
+    The paper assumes write-back with a write buffer (its reference [20]
+    is Jouppi's write-policy study); this ablation shows why: numerical
+    codes update arrays in place, and write-through multiplies the
+    write traffic without buying misses.
+    """
+    from ..sim.geometry import CacheGeometry
+    from ..sim.standard import StandardCache
+
+    def cache(policy: str, allocate: bool = True) -> StandardCache:
+        return StandardCache(
+            CacheGeometry(8 * 1024, 32, 1),
+            write_policy=policy,
+            write_allocate=allocate,
+        )
+
+    configs = {
+        "write-back": partial(cache, "write-back"),
+        "write-through": partial(cache, "write-through"),
+        "write-through, no-allocate": partial(cache, "write-through", False),
+    }
+    sweep = run_sweep(suite_traces(scale, seed), configs)
+    result = FigureResult(
+        figure="ablation-writepolicy",
+        title="Write policies on the standard cache",
+        series=list(configs),
+        metric="AMAT (cycles)",
+    )
+    for bench, row in sweep.metric("amat").items():
+        for config, value in row.items():
+            result.add(bench, config, value)
+    # Writebacks per reference tell the traffic story.
+    for bench, row in sweep.metric("writebacks").items():
+        refs = sweep.results[bench]["write-back"].refs
+        for config, value in row.items():
+            result.add(bench, f"wb/ref {config}", value / max(1, refs))
+    return result
+
+
+def physical_line(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """16 B vs 32 B physical lines under software assistance."""
+    configs = {
+        "LS=16B": partial(_soft, line_size=16, virtual_line_size=64),
+        "LS=32B": partial(_soft, line_size=32, virtual_line_size=64),
+    }
+    return _run(
+        configs,
+        "Physical line size under software assistance",
+        "ablation-physline",
+        scale,
+        seed,
+    )
+
+
+def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper
+    for fn in (
+        bounce_back_size,
+        bounce_back_associativity,
+        admission_policy,
+        temporal_reset,
+        physical_line,
+    ):
+        print(fn(scale).table())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

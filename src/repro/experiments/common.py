@@ -1,0 +1,64 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every driver returns a :class:`FigureResult` — a named grid of series
+values — so the benchmark harness and EXPERIMENTS.md generation can
+treat all nineteen figures uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..harness.tables import format_table
+
+
+@dataclass
+class FigureResult:
+    """Reproduction of one paper figure: rows x series of numbers."""
+
+    figure: str
+    title: str
+    series: List[str]
+    #: row label (benchmark, sweep point...) -> series name -> value
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metric: str = ""
+    notes: str = ""
+
+    def add(self, row: str, name: str, value: float) -> None:
+        self.rows.setdefault(row, {})[name] = value
+        if name not in self.series:
+            self.series.append(name)
+
+    def value(self, row: str, name: str) -> float:
+        return self.rows[row][name]
+
+    def row(self, row: str) -> Dict[str, float]:
+        return self.rows[row]
+
+    def column(self, name: str) -> Dict[str, float]:
+        """One series across all rows (a line on the paper's plot)."""
+        return {row: cells[name] for row, cells in self.rows.items() if name in cells}
+
+    def chart(self, width: int = 48, precision: int = 3) -> str:
+        """ASCII grouped-bar rendering (the paper's figures are bars)."""
+        from ..harness.charts import bar_chart
+
+        header = f"{self.figure}: {self.title}"
+        if self.metric:
+            header += f"  [{self.metric}]"
+        body = bar_chart(self.series, self.rows, width, precision)
+        return "\n".join([header, body])
+
+    def table(self, precision: int = 3) -> str:
+        header = f"{self.figure}: {self.title}"
+        if self.metric:
+            header += f"  [{self.metric}]"
+        body = format_table(self.series, self.rows, precision=precision)
+        parts = [header, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.table()

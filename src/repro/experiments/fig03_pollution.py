@@ -1,0 +1,70 @@
+"""Figure 3: existing techniques against pollution and interference.
+
+* Figure 3a — cache bypassing.  Plain bypassing is disastrous (the
+  spatial locality of non-reusable data pays a memory round-trip per
+  word); routing bypassed fetches through a small buffer recovers most
+  of it; the software-assisted design beats both.
+* Figure 3b — victim caches.  Efficient against interference, but their
+  few entries cannot absorb *pollution* (a capacity phenomenon) — the
+  software-assisted design, which can, wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import presets
+from ..harness.runner import run_sweep
+from ..workloads.registry import suite_traces
+from .common import FigureResult
+
+
+def bypass_study(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Figure 3a: AMAT of Standard / Bypass / Bypass-buffer / Soft."""
+    configs = {
+        "Standard": presets.standard,
+        "Bypass": presets.bypass,
+        "Bypass buffer": presets.bypass_buffered,
+        "Soft": presets.soft,
+    }
+    sweep = run_sweep(suite_traces(scale, seed), configs)
+    result = FigureResult(
+        figure="fig3a",
+        title="Efficiency of bypassing",
+        series=list(configs),
+        metric="AMAT (cycles)",
+    )
+    for bench, row in sweep.metric("amat").items():
+        for config, value in row.items():
+            result.add(bench, config, value)
+    return result
+
+
+def victim_study(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Figure 3b: AMAT of Standard / Standard+Victim / Soft."""
+    configs = {
+        "Standard": presets.standard,
+        "Stand.+Victim": presets.victim,
+        "Soft": presets.soft,
+    }
+    sweep = run_sweep(suite_traces(scale, seed), configs)
+    result = FigureResult(
+        figure="fig3b",
+        title="Efficiency of victim caches",
+        series=list(configs),
+        metric="AMAT (cycles)",
+    )
+    for bench, row in sweep.metric("amat").items():
+        for config, value in row.items():
+            result.add(bench, config, value)
+    return result
+
+
+def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper
+    print(bypass_study(scale).table())
+    print()
+    print(victim_study(scale).table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,67 @@
+"""Figure 6: performance of software-assisted caches (I).
+
+* Figure 6a — AMAT of Standard / Soft-temporal-only / Soft-spatial-only
+  / full Soft.  Expected shape: the bounce-back mechanism alone profits
+  DYF, LIV, MV, SpMV; virtual lines alone are stronger for BDN, TRF,
+  NAS, Slalom, MV, SpMV; the combination is (essentially) always best,
+  and Soft never loses to Standard.
+* Figure 6b — repartition of cache hits between the main cache and the
+  bounce-back cache: most hits must stay main-cache hits (1 cycle), or
+  the 3-cycle assist path would eat the gains.
+"""
+
+from __future__ import annotations
+
+from ..core import presets
+from ..harness.runner import run_sweep
+from ..sim.driver import simulate
+from ..workloads.registry import suite_traces
+from .common import FigureResult
+
+#: The four configurations of figures 6a / 7a / 7b, in paper order.
+SOFTWARE_CONTROL_CONFIGS = {
+    "Standard": presets.standard,
+    "Temp only": presets.soft_temporal_only,
+    "Spat only": presets.soft_spatial_only,
+    "Soft": presets.soft,
+}
+
+
+def amat_breakdown(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Figure 6a: AMAT under each flavour of software control."""
+    sweep = run_sweep(suite_traces(scale, seed), SOFTWARE_CONTROL_CONFIGS)
+    result = FigureResult(
+        figure="fig6a",
+        title="Performance of software control",
+        series=list(SOFTWARE_CONTROL_CONFIGS),
+        metric="AMAT (cycles)",
+    )
+    for bench, row in sweep.metric("amat").items():
+        for config, value in row.items():
+            result.add(bench, config, value)
+    return result
+
+
+def hit_repartition(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Figure 6b: fraction of hits served by main vs bounce-back cache."""
+    result = FigureResult(
+        figure="fig6b",
+        title="Repartition of cache hits (Soft configuration)",
+        series=["main cache", "bounce-back cache"],
+        metric="fraction of hits",
+    )
+    for name, trace in suite_traces(scale, seed).items():
+        r = simulate(presets.soft(), trace)
+        result.add(name, "main cache", r.main_hit_fraction)
+        result.add(name, "bounce-back cache", r.assist_hit_fraction)
+    return result
+
+
+def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper
+    print(amat_breakdown(scale).table())
+    print()
+    print(hit_repartition(scale).table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Figure 12: prefetching through the bounce-back cache (section 4.4).
+
+Four configurations: Standard, Standard + blind prefetch-on-miss, Soft,
+and Soft + software-assisted progressive prefetching (only spatial-tagged
+misses prefetch; a hit on a prefetched line in the bounce-back cache
+promotes it and prefetches the next physical line).  The software
+information suppresses most wrong predictions, and prefetching on top of
+the full mechanism hides the compulsory/capacity misses of vector
+accesses that even virtual lines must pay once.
+"""
+
+from __future__ import annotations
+
+from ..core import presets
+from ..harness.runner import run_sweep
+from ..workloads.registry import suite_traces
+from .common import FigureResult
+
+PREFETCH_CONFIGS = {
+    "Standard": presets.standard,
+    "Stand.+Prefetch": presets.standard_prefetch,
+    "Soft": presets.soft,
+    "Soft+Prefetch": presets.soft_prefetch,
+}
+
+
+def prefetch_study(scale: str = "paper", seed: int = 0) -> FigureResult:
+    """Figure 12: AMAT with and without prefetching."""
+    sweep = run_sweep(suite_traces(scale, seed), PREFETCH_CONFIGS)
+    result = FigureResult(
+        figure="fig12",
+        title="Prefetching",
+        series=list(PREFETCH_CONFIGS),
+        metric="AMAT (cycles)",
+    )
+    for bench, row in sweep.metric("amat").items():
+        for config, value in row.items():
+            result.add(bench, config, value)
+    return result
+
+
+def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper
+    print(prefetch_study(scale).table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,6 @@
+"""Experiment harness: grid runner and table rendering."""
+
+from .runner import CacheFactory, Sweep, run_sweep
+from .tables import format_table
+
+__all__ = ["CacheFactory", "Sweep", "run_sweep", "format_table"]

@@ -1,0 +1,58 @@
+"""ASCII bar charts for experiment results.
+
+The paper's figures are grouped bar charts; this renders the same shape
+in a terminal so ``python -m repro run fig6a --chart`` looks like the
+original, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+Value = Union[float, int]
+
+#: Bar glyphs: full blocks plus the trailing fractional eighth.
+_FULL = "█"
+_EIGHTHS = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar of ``value`` scaled so ``scale`` fills ``width``."""
+    if scale <= 0 or value <= 0:
+        return ""
+    units = value / scale * width
+    full = int(units)
+    fraction = int((units - full) * 8)
+    return _FULL * full + _EIGHTHS[fraction]
+
+
+def bar_chart(
+    series: Sequence[str],
+    rows: Mapping[str, Mapping[str, Value]],
+    width: int = 48,
+    precision: int = 3,
+) -> str:
+    """Grouped horizontal bar chart (one group per row, one bar per
+    series), scaled to the maximum value in the grid."""
+    values = [
+        float(v)
+        for cells in rows.values()
+        for v in cells.values()
+        if isinstance(v, (int, float))
+    ]
+    scale = max(values) if values else 1.0
+    label_width = max((len(s) for s in series), default=0)
+
+    lines = []
+    for row, cells in rows.items():
+        lines.append(f"{row}")
+        for name in series:
+            if name not in cells:
+                continue
+            value = float(cells[name])
+            bar = _bar(value, scale, width)
+            lines.append(
+                f"  {name.ljust(label_width)} {bar} {value:.{precision}f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

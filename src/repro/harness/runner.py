@@ -1,0 +1,61 @@
+"""Sweep runner: simulate grids of (cache factory x trace).
+
+Cache models are stateful, so sweeps take *factories* (zero-argument
+callables returning a fresh model) rather than model instances — every
+cell of the grid runs on a cold cache, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..memtrace.trace import Trace
+from ..sim.base import CacheModel
+from ..sim.driver import simulate
+from ..sim.result import SimResult
+from .tables import format_table
+
+CacheFactory = Callable[[], CacheModel]
+
+
+@dataclass
+class Sweep:
+    """Results of a (trace x configuration) grid, column-major by config."""
+
+    #: trace name -> config name -> result
+    results: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+    config_order: List[str] = field(default_factory=list)
+
+    def add(self, trace_name: str, config_name: str, result: SimResult) -> None:
+        self.results.setdefault(trace_name, {})[config_name] = result
+        if config_name not in self.config_order:
+            self.config_order.append(config_name)
+
+    def metric(self, name: str) -> Dict[str, Dict[str, float]]:
+        """Extract one metric (attribute of SimResult) across the grid."""
+        return {
+            trace: {cfg: getattr(r, name) for cfg, r in row.items()}
+            for trace, row in self.results.items()
+        }
+
+    def table(self, metric: str = "amat", precision: int = 3) -> str:
+        return format_table(
+            self.config_order,
+            self.metric(metric),
+            row_header="benchmark",
+            precision=precision,
+        )
+
+
+def run_sweep(
+    traces: Mapping[str, Trace],
+    configs: Mapping[str, CacheFactory],
+) -> Sweep:
+    """Simulate every trace against every configuration (fresh caches)."""
+    sweep = Sweep()
+    for trace_name, trace in traces.items():
+        for config_name, factory in configs.items():
+            result = simulate(factory(), trace)
+            sweep.add(trace_name, config_name, result)
+    return sweep

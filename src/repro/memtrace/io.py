@@ -1,0 +1,61 @@
+"""Trace persistence.
+
+Traces are expensive to regenerate and the paper's methodology depends
+on re-simulating *identical* traces (gaps are recorded in the trace, not
+drawn at simulation time).  This module stores traces as compressed
+``.npz`` archives with a format version, so experiments can be split
+across processes or machines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .trace import Trace
+
+#: On-disk format version; bump on incompatible changes.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write a trace to ``path`` as a compressed npz archive."""
+    payload = {
+        "version": np.int64(FORMAT_VERSION),
+        "name": np.str_(trace.name),
+        "addresses": trace.addresses,
+        "is_write": trace.is_write,
+        "temporal": trace.temporal,
+        "spatial": trace.spatial,
+        "gaps": trace.gaps,
+    }
+    if trace.ref_ids is not None:
+        payload["ref_ids"] = trace.ref_ids
+    np.savez_compressed(path, **payload)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["version"])
+            if version != FORMAT_VERSION:
+                raise TraceError(
+                    f"trace file {path!s} has format version {version}, "
+                    f"expected {FORMAT_VERSION}"
+                )
+            ref_ids = archive["ref_ids"] if "ref_ids" in archive else None
+            return Trace(
+                archive["addresses"],
+                archive["is_write"],
+                archive["temporal"],
+                archive["spatial"],
+                archive["gaps"],
+                name=str(archive["name"]),
+                ref_ids=ref_ids,
+            )
+    except (OSError, KeyError, ValueError) as error:
+        raise TraceError(f"cannot load trace from {path!s}: {error}") from error

@@ -1,0 +1,131 @@
+"""Spatial-reuse (vector length) analysis of a trace (paper figure 1b).
+
+The paper measures, per static load/store instruction, the *vector length*
+of the address stream it issues: the byte span covered by consecutive
+accesses of that instruction.  A vector sequence terminates when
+
+* the instruction has not been used for more than 500 references (a value
+  much smaller than the average lifetime of a cache line), or
+* the stride between two consecutive accesses exceeds 32 bytes (such
+  spatial locality would not be exploited by a 32-byte line anyway).
+
+Figure 1b buckets references by the length of the vector they belong to:
+<=32 B, 32-64 B, 64-128 B, 128-256 B, 256-512 B, > 512 B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+from .trace import Trace
+
+#: Termination rule constants from the paper's footnote 1.
+MAX_IDLE_REFS = 500
+MAX_STRIDE_BYTES = 32
+
+#: Figure 1b bucket boundaries: (label, inclusive upper bound in bytes).
+VECTOR_BUCKETS: Tuple[Tuple[str, float], ...] = (
+    ("<= 32 B", 32),
+    ("32 - 64 B", 64),
+    ("64 - 128 B", 128),
+    ("128 - 256 B", 256),
+    ("256 - 512 B", 512),
+    ("> 512 B", float("inf")),
+)
+
+
+def vector_lengths(trace: Trace) -> List[Tuple[int, int]]:
+    """Decompose a trace into per-instruction vector sequences.
+
+    Returns a list of ``(length_bytes, n_refs)`` pairs, one per vector
+    sequence, where ``length_bytes`` is the span covered by the sequence
+    and ``n_refs`` the number of dynamic references it contains.
+    """
+    if trace.ref_ids is None:
+        raise TraceError(
+            "vector-length analysis requires a trace with ref_ids "
+            "(per-instruction identifiers)"
+        )
+    addresses = trace.addresses.tolist()
+    ref_ids = trace.ref_ids.tolist()
+    # Per-instruction open sequence: (last_pos, last_addr, start_addr, count).
+    open_seqs: Dict[int, Tuple[int, int, int, int]] = {}
+    finished: List[Tuple[int, int]] = []
+
+    def close(seq: Tuple[int, int, int, int]) -> None:
+        _, last_addr, start_addr, count = seq
+        finished.append((abs(last_addr - start_addr) + 1, count))
+
+    for pos, (addr, rid) in enumerate(zip(addresses, ref_ids)):
+        seq = open_seqs.get(rid)
+        if seq is not None:
+            last_pos, last_addr, start_addr, count = seq
+            idle = pos - last_pos
+            stride = abs(addr - last_addr)
+            if idle > MAX_IDLE_REFS or stride > MAX_STRIDE_BYTES:
+                close(seq)
+                open_seqs[rid] = (pos, addr, addr, 1)
+            else:
+                open_seqs[rid] = (pos, addr, start_addr, count + 1)
+        else:
+            open_seqs[rid] = (pos, addr, addr, 1)
+    for seq in open_seqs.values():
+        close(seq)
+    return finished
+
+
+def bucket_of(length_bytes: int) -> str:
+    """Map a vector length in bytes to its figure 1b bucket label."""
+    for label, upper in VECTOR_BUCKETS:
+        if length_bytes <= upper:
+            return label
+    return VECTOR_BUCKETS[-1][0]  # pragma: no cover - inf always matches
+
+
+@dataclass(frozen=True)
+class VectorProfile:
+    """Distribution of references across the figure 1b length buckets."""
+
+    name: str
+    fractions: Dict[str, float]
+    mean_length: float
+    total_refs: int
+
+    def fraction(self, label: str) -> float:
+        return self.fractions[label]
+
+    def fraction_longer_than(self, length_bytes: int) -> float:
+        """Fraction of references in vectors longer than ``length_bytes``."""
+        total = 0.0
+        for label, upper in VECTOR_BUCKETS:
+            if upper > length_bytes:
+                total += self.fractions[label]
+        return total
+
+
+def vector_profile(trace: Trace) -> VectorProfile:
+    """Compute the figure 1b vector-length distribution of a trace.
+
+    Each dynamic reference is attributed to the bucket of the vector
+    sequence it belongs to (the figure weights buckets by references, not
+    by sequences).
+    """
+    sequences = vector_lengths(trace)
+    counts = {label: 0 for label, _ in VECTOR_BUCKETS}
+    total_refs = 0
+    weighted_length = 0.0
+    for length_bytes, n_refs in sequences:
+        counts[bucket_of(length_bytes)] += n_refs
+        total_refs += n_refs
+        weighted_length += length_bytes * n_refs
+    denominator = max(1, total_refs)
+    return VectorProfile(
+        name=trace.name,
+        fractions={label: c / denominator for label, c in counts.items()},
+        mean_length=weighted_length / denominator,
+        total_refs=total_refs,
+    )

@@ -1,0 +1,24 @@
+"""Metrics: result records live in :mod:`repro.sim.result`; this package
+adds cross-benchmark aggregation."""
+
+from ..sim.result import SimResult
+from .attribution import Attribution, InstructionProfile, attribute
+from .summary import (
+    amat_improvement,
+    geometric_mean,
+    miss_reduction,
+    suite_summary,
+    traffic_ratio,
+)
+
+__all__ = [
+    "SimResult",
+    "Attribution",
+    "InstructionProfile",
+    "attribute",
+    "geometric_mean",
+    "amat_improvement",
+    "miss_reduction",
+    "traffic_ratio",
+    "suite_summary",
+]

@@ -1,0 +1,69 @@
+"""Cross-benchmark summary statistics over simulation results."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+from ..errors import ConfigError
+from ..sim.result import SimResult
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the customary aggregate for ratios of times)."""
+    values = list(values)
+    if not values:
+        raise ConfigError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def amat_improvement(baseline: SimResult, candidate: SimResult) -> float:
+    """Relative AMAT improvement of ``candidate`` over ``baseline`` (0.25
+    means 25% faster memory accesses on average)."""
+    if baseline.amat == 0:
+        raise ConfigError("baseline AMAT is zero")
+    return (baseline.amat - candidate.amat) / baseline.amat
+
+
+def miss_reduction(baseline: SimResult, candidate: SimResult) -> float:
+    """Relative miss-ratio reduction (the paper quotes 62% for MV)."""
+    if baseline.misses == 0:
+        return 0.0
+    return (baseline.misses - candidate.misses) / baseline.misses
+
+
+def traffic_ratio(baseline: SimResult, candidate: SimResult) -> float:
+    """Candidate traffic relative to baseline (>1 means more traffic)."""
+    if baseline.words_fetched == 0:
+        raise ConfigError("baseline fetched no words")
+    return candidate.words_fetched / baseline.words_fetched
+
+
+def suite_summary(
+    results: Mapping[str, Mapping[str, SimResult]],
+    baseline: str,
+    candidate: str,
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark improvement summary plus a geometric-mean row.
+
+    ``results`` maps benchmark -> configuration -> result (the layout of
+    :class:`repro.harness.runner.Sweep`).
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+    speedups = []
+    for bench, row in results.items():
+        base, cand = row[baseline], row[candidate]
+        summary[bench] = {
+            "amat_improvement": amat_improvement(base, cand),
+            "miss_reduction": miss_reduction(base, cand),
+            "traffic_ratio": traffic_ratio(base, cand),
+        }
+        speedups.append(base.amat / cand.amat)
+    summary["geomean"] = {
+        "amat_improvement": 1.0 - 1.0 / geometric_mean(speedups),
+        "miss_reduction": float("nan"),
+        "traffic_ratio": float("nan"),
+    }
+    return summary

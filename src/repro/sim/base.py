@@ -1,0 +1,46 @@
+"""Common interface of all cache simulators.
+
+A cache model is a stateful object with one hot method::
+
+    cycles = model.access(address, is_write, temporal, spatial, now)
+
+``now`` is the issue time of the reference (cycles); the returned value
+is the number of cycles the access took, *including* any wait for a
+locked cache or a full write buffer.  AMAT is the mean of these values.
+
+Models keep their own :class:`~repro.sim.result.SimResult` counters; the
+driver (:mod:`repro.sim.driver`) walks a trace, maintains the clock and
+finalises the result.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .result import SimResult
+
+
+@runtime_checkable
+class CacheModel(Protocol):
+    """Structural interface every simulator implements."""
+
+    #: Human-readable configuration label, used in result tables.
+    name: str
+
+    #: Mutable counter record; the driver stamps trace metadata into it.
+    stats: SimResult
+
+    def access(
+        self,
+        address: int,
+        is_write: bool,
+        temporal: bool,
+        spatial: bool,
+        now: int,
+    ) -> int:
+        """Simulate one reference issued at time ``now``; return cycles."""
+        ...
+
+    def reset(self) -> None:
+        """Clear all cache state and counters."""
+        ...

@@ -1,0 +1,133 @@
+"""Belady (MIN/OPT) replacement — an offline upper bound.
+
+The paper measures its mechanisms against LRU baselines; a natural
+question it leaves open is how much headroom remains.  Belady's optimal
+policy evicts the line whose next use is farthest in the future, which
+no online policy can beat for a given geometry.  Because it needs the
+future, the model is built from the whole trace up front
+(:func:`simulate_belady`), not driven reference by reference.
+
+Timing uses the same rules as :class:`~repro.sim.standard.StandardCache`
+(1-cycle hits, ``t_lat + LS/w_b`` misses, write-back through the write
+buffer), so AMAT values are directly comparable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from ..errors import SimulationError
+from ..memtrace.trace import Trace
+from .geometry import CacheGeometry
+from .result import SimResult
+from .timing import MemoryTiming
+from .write_buffer import WriteBuffer
+
+#: Sentinel "never used again" distance.
+INFINITE = 1 << 60
+
+
+def _next_use_chains(line_addresses: List[int]) -> List[int]:
+    """For each position, the index of the next access to the same line
+    (or INFINITE)."""
+    n = len(line_addresses)
+    next_use = [INFINITE] * n
+    last_seen: Dict[int, int] = {}
+    for position in range(n - 1, -1, -1):
+        la = line_addresses[position]
+        next_use[position] = last_seen.get(la, INFINITE)
+        last_seen[la] = position
+    return next_use
+
+
+def simulate_belady(
+    trace: Trace,
+    geometry: CacheGeometry,
+    timing: MemoryTiming = MemoryTiming(),
+) -> SimResult:
+    """Run a trace under per-set Belady-optimal replacement.
+
+    Returns a :class:`SimResult` comparable to the LRU baselines.  Note
+    OPT is defined on *replacement* only: fetch policy, line size and
+    associativity stay as configured.
+    """
+    stats = SimResult(cache=f"belady {geometry}", trace=trace.name)
+    addresses, is_write, _, _, gaps = trace.columns()
+    shift = geometry.line_shift
+    n_sets = geometry.n_sets
+    ways = geometry.ways
+    penalty = timing.miss_penalty(1, geometry.line_size)
+    words_per_line = geometry.line_size // 8
+    hit_time = timing.hit_time
+    write_buffer = WriteBuffer(
+        timing.write_buffer_entries,
+        timing.transfer_cycles(geometry.line_size),
+    )
+
+    line_addresses = [a >> shift for a in addresses]
+    next_use = _next_use_chains(line_addresses)
+
+    # Per-set state: resident lines with their dirtiness, plus a lazy
+    # max-heap of (-next_use_position, line) for victim selection.
+    resident: List[Dict[int, bool]] = [dict() for _ in range(n_sets)]
+    future: List[Dict[int, int]] = [dict() for _ in range(n_sets)]
+    heaps: List[List] = [[] for _ in range(n_sets)]
+
+    clock = 0
+    total = 0
+    ready_at = 0
+    for position, (la, w, g) in enumerate(
+        zip(line_addresses, is_write, gaps)
+    ):
+        clock += g
+        wait = ready_at - clock
+        if wait < 0:
+            wait = 0
+        start = clock + wait
+        set_index = la % n_sets
+        lines = resident[set_index]
+        upcoming = next_use[position]
+
+        if la in lines:
+            stats.hits_main += 1
+            if w:
+                lines[la] = True
+            future[set_index][la] = upcoming
+            heapq.heappush(heaps[set_index], (-upcoming, la))
+            cycles = wait + hit_time
+            ready_at = start + hit_time
+        else:
+            stats.misses += 1
+            stall = 0
+            if len(lines) >= ways:
+                heap = heaps[set_index]
+                live = future[set_index]
+                while True:
+                    if not heap:  # pragma: no cover - invariant guard
+                        raise SimulationError("belady heap out of sync")
+                    negative, victim = heapq.heappop(heap)
+                    if victim in lines and live.get(victim) == -negative:
+                        break
+                if lines.pop(victim):
+                    stats.writebacks += 1
+                    stall = write_buffer.push(start)
+                    stats.write_buffer_stalls += stall
+                live.pop(victim, None)
+            lines[la] = bool(w)
+            future[set_index][la] = upcoming
+            heapq.heappush(heaps[set_index], (-upcoming, la))
+            stats.lines_fetched += 1
+            stats.words_fetched += words_per_line
+            cycles = wait + stall + penalty
+            ready_at = start + stall + penalty
+
+        total += cycles
+        extra = cycles - hit_time
+        if extra > 0:
+            clock += extra
+
+    stats.refs = len(addresses)
+    stats.cycles = total
+    stats.check()
+    return stats

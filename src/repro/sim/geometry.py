@@ -1,0 +1,74 @@
+"""Cache geometry: sizes, lines, sets and address decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache.
+
+    Parameters
+    ----------
+    size_bytes
+        Total capacity.
+    line_size
+        Physical line size in bytes (the paper keeps this small, 32 B,
+        and exploits spatial locality with *virtual* lines instead).
+    ways
+        Associativity; 1 for direct-mapped.
+    """
+
+    size_bytes: int
+    line_size: int
+    ways: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_size):
+            raise ConfigError(f"line size must be a power of two: {self.line_size}")
+        if not _is_pow2(self.size_bytes):
+            raise ConfigError(f"cache size must be a power of two: {self.size_bytes}")
+        if self.ways < 1:
+            raise ConfigError(f"associativity must be >= 1: {self.ways}")
+        if self.size_bytes % (self.line_size * self.ways) != 0:
+            raise ConfigError(
+                f"cache of {self.size_bytes} B cannot hold an integral number "
+                f"of {self.ways}-way sets of {self.line_size} B lines"
+            )
+        if self.n_sets < 1:
+            raise ConfigError("cache must have at least one set")
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.ways)
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    def line_address(self, address: int) -> int:
+        """The line-granular address (byte address / line size)."""
+        return address >> self.line_shift
+
+    def set_index(self, line_address: int) -> int:
+        """Set an (already line-granular) address maps to."""
+        return line_address % self.n_sets
+
+    def set_of(self, address: int) -> int:
+        """Set a byte address maps to."""
+        return self.set_index(self.line_address(address))
+
+    def __str__(self) -> str:
+        kind = "direct-mapped" if self.ways == 1 else f"{self.ways}-way"
+        return f"{self.size_bytes // 1024}KB/{self.line_size}B {kind}"

@@ -1,0 +1,65 @@
+"""Memory-system timing parameters (paper section 3.1).
+
+Defaults follow the paper: 20-cycle memory latency (software assistance
+only pays off when memory is the bottleneck), 16-byte bus (IBM RS6000
+value), 1-cycle main-cache hit, 3-cycle bounce-back-cache hit
+(conservative: data read in 1 cycle but hit/miss known in the 2nd, plus
+one cycle of miss-handling overhead), swap locking both caches 2 further
+cycles, 2-cycle dirty-line transfer to the write buffer.
+
+The miss penalty for fetching ``n`` physical lines of size ``LS`` over a
+``w_b`` bytes/cycle bus is ``t_lat + n * LS / w_b`` — the same as one
+physical line of size ``n * LS`` (section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Timing model shared by all cache simulators."""
+
+    latency: int = 20
+    bus_bytes_per_cycle: int = 16
+    hit_time: int = 1
+    assist_hit_time: int = 3
+    swap_lock: int = 2
+    dirty_transfer: int = 2
+    write_buffer_entries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigError(f"latency must be non-negative: {self.latency}")
+        if self.bus_bytes_per_cycle < 1:
+            raise ConfigError("bus bandwidth must be at least 1 byte/cycle")
+        if self.hit_time < 1:
+            raise ConfigError("hit time must be at least one cycle")
+        if self.assist_hit_time < self.hit_time:
+            raise ConfigError("assist hit time cannot beat the main hit time")
+        if self.write_buffer_entries < 0:
+            raise ConfigError("write buffer size must be non-negative")
+
+    def transfer_cycles(self, n_bytes: int) -> int:
+        """Bus cycles to move ``n_bytes`` (rounded up)."""
+        if n_bytes < 0:
+            raise ConfigError(f"cannot transfer a negative size: {n_bytes}")
+        bus = self.bus_bytes_per_cycle
+        return (n_bytes + bus - 1) // bus
+
+    def miss_penalty(self, n_lines: int, line_size: int) -> int:
+        """Stall cycles to fetch ``n_lines`` physical lines from memory."""
+        if n_lines < 1:
+            raise ConfigError(f"a miss fetches at least one line: {n_lines}")
+        return self.latency + n_lines * self.transfer_cycles(line_size)
+
+    def word_fetch_penalty(self) -> int:
+        """Stall cycles to fetch a single 8-byte word (pure bypassing)."""
+        return self.latency + self.transfer_cycles(8)
+
+
+#: The configuration used throughout the paper's evaluation.
+PAPER_TIMING = MemoryTiming()

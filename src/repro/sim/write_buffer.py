@@ -1,0 +1,75 @@
+"""Write buffer model.
+
+Dirty victims are transferred to a small write buffer (2 cycles, hidden
+under the miss latency) and drained to memory over the bus.  The buffer
+only affects the processor when it is *full*: the evicting access then
+stalls until an entry drains.  The paper also aborts bounce-back
+transfers that would displace a dirty line while the write buffer is
+full; :meth:`is_full` exposes the state for that rule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ..errors import ConfigError
+
+
+class WriteBuffer:
+    """FIFO write buffer draining one line per ``drain_cycles``."""
+
+    def __init__(self, entries: int, drain_cycles: int) -> None:
+        if entries < 0:
+            raise ConfigError(f"write buffer entries must be >= 0: {entries}")
+        if drain_cycles < 1:
+            raise ConfigError(f"drain cycles must be >= 1: {drain_cycles}")
+        self.entries = entries
+        self.drain_cycles = drain_cycles
+        self._completions: Deque[int] = deque()
+        self.pushes = 0
+        self.stall_cycles = 0
+
+    def advance(self, now: int) -> None:
+        """Retire entries whose drain finished by ``now``."""
+        completions = self._completions
+        while completions and completions[0] <= now:
+            completions.popleft()
+
+    def is_full(self, now: int) -> bool:
+        """True when no slot is free at ``now`` (used by the bounce-back
+        abort rule)."""
+        if self.entries == 0:
+            return True
+        self.advance(now)
+        return len(self._completions) >= self.entries
+
+    def push(self, now: int) -> int:
+        """Insert a dirty line at ``now``; returns processor stall cycles.
+
+        With no buffer at all (``entries == 0``) the write goes straight
+        to memory and the processor eats the full drain time.
+        """
+        self.pushes += 1
+        if self.entries == 0:
+            self.stall_cycles += self.drain_cycles
+            return self.drain_cycles
+        self.advance(now)
+        stall = 0
+        if len(self._completions) >= self.entries:
+            # Wait for the oldest entry to drain, freeing one slot.
+            stall = self._completions.popleft() - now
+            now += stall
+            self.stall_cycles += stall
+        start = max(now, self._completions[-1] if self._completions else now)
+        self._completions.append(start + self.drain_cycles)
+        return stall
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._completions)
+
+    def reset(self) -> None:
+        self._completions.clear()
+        self.pushes = 0
+        self.stall_cycles = 0

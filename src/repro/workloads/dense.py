@@ -1,0 +1,102 @@
+"""Dense matrix-vector workloads: MV and its blocked variant.
+
+``MV`` is the paper's running example (section 2.2)::
+
+    DO j1 = 0,N-1
+       reg = Y(j1)
+       DO j2 = 0,N-1
+          reg += A(j2,j1) * X(j2)
+       ENDDO
+       Y(j1) = reg
+    ENDDO
+
+``X`` is reused on every outer iteration but, when ``N`` exceeds the
+cache capacity divided by the line density of ``A``'s sweep, most of it
+is flushed by ``A`` between reuses — the textbook pollution case the
+bounce-back cache targets.  ``A`` is scanned with stride one and never
+reused: virtual-line territory.
+
+``blocked MV`` (figure 11a) tiles the ``j2`` loop so a block of ``X``
+stays cache-resident across all rows; software assistance lets much
+larger blocks survive pollution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from ..compiler import Array, ArrayRef, Loop, Program, nest, var
+
+#: Problem sizes per scale: (N, outer_rows).
+MV_SCALES: Dict[str, Tuple[int, int]] = {
+    "tiny": (96, 8),
+    "test": (400, 16),
+    "paper": (1200, 60),
+}
+
+
+def mv_program(scale: str = "paper") -> Program:
+    """Matrix-vector multiply; ``X`` (8*N bytes) overflows an 8 KB cache
+    at the paper scale."""
+    if scale not in MV_SCALES:
+        raise ConfigError(f"unknown MV scale {scale!r}")
+    n, rows = MV_SCALES[scale]
+    j1, j2 = var("j1"), var("j2")
+    arrays = [Array("Y", (n,)), Array("A", (n, n)), Array("X", (n,))]
+    loop = nest(
+        [Loop("j1", 0, rows), Loop("j2", 0, n)],
+        body=[ArrayRef("A", (j2, j1)), ArrayRef("X", (j2,))],
+        pre=[ArrayRef("Y", (j1,))],
+        post=[ArrayRef("Y", (j1,), is_write=True)],
+        name="mv",
+    )
+    return Program("MV", arrays, [loop])
+
+
+#: Blocked-MV sizes per scale: (N, rows).  N is chosen highly divisible
+#: so the figure 11a block sizes tile it exactly.
+BLOCKED_MV_SCALES: Dict[str, Tuple[int, int]] = {
+    "tiny": (120, 4),
+    "test": (600, 8),
+    "paper": (6000, 20),
+}
+
+#: The block sizes of figure 11a's x-axis.
+FIG11A_BLOCK_SIZES = (10, 20, 30, 40, 50, 100, 500, 1000, 1500, 2000)
+
+
+def blocked_mv_program(block: int, scale: str = "paper") -> Program:
+    """Blocked matrix-vector multiply (figure 11a)::
+
+        DO jb = 0,N/B-1            ! block of X
+           DO j1 = 0,rows-1        ! all rows
+              reg = Y(j1)
+              DO j2 = 0,B-1        ! within the block
+                 reg += A(jb*B+j2, j1) * X(jb*B+j2)
+              ENDDO
+              Y(j1) = reg
+           ENDDO
+        ENDDO
+
+    A block of ``X`` (8*B bytes) is reused across every row; the sweep of
+    ``A`` pollutes the cache in between.
+    """
+    if scale not in BLOCKED_MV_SCALES:
+        raise ConfigError(f"unknown blocked-MV scale {scale!r}")
+    n, rows = BLOCKED_MV_SCALES[scale]
+    if block < 1 or n % block != 0:
+        raise ConfigError(
+            f"block size {block} does not tile the vector length {n}"
+        )
+    jb, j1, j2 = var("jb"), var("j1"), var("j2")
+    position = jb * block + j2
+    arrays = [Array("Y", (rows,)), Array("A", (n, rows)), Array("X", (n,))]
+    loop = nest(
+        [Loop("jb", 0, n // block), Loop("j1", 0, rows), Loop("j2", 0, block)],
+        body=[ArrayRef("A", (position, j1)), ArrayRef("X", (position,))],
+        pre=[ArrayRef("Y", (j1,))],
+        post=[ArrayRef("Y", (j1,), is_write=True)],
+        name=f"blocked-mv-B{block}",
+    )
+    return Program(f"MV-B{block}", arrays, [loop])

@@ -1,0 +1,130 @@
+"""LIV — the Livermore Loops benchmark.
+
+A battery of short Fortran kernels swept repeatedly over medium-sized
+vectors.  The working set (a handful of ~600-element double vectors) is
+larger than an 8 KB cache but fits into 16 KB — which is why the paper's
+figure 9a shows the mechanism becoming "almost useless" for LIV at
+16 KB and beyond.
+
+Kernels modelled (classic numbering):
+
+* K1  hydro fragment          ``x(k) = q + y(k)*(r*z(k+10) + t*z(k+11))``
+* K2  ICCG-style compaction   ``x(k) = x(2k) - z(2k+1)`` (stride halving)
+* K3  inner product           ``q += z(k)*x(k)``
+* K5  tri-diagonal elimination ``x(i) = z(i)*(y(i) - x(i-1))``
+* K7  equation of state       ``x(k) = y(k) + r*(z(k) + r*y(k+3)) + y(k+6)...``
+* K11 first sum               ``x(k) = x(k-1) + y(k)``
+* K12 first difference        ``x(k) = y(k+1) - y(k)``
+
+The group dependences (``z(k+10)``/``z(k+11)``, the three-member
+``y(k)/y(k+3)/y(k+6)`` group of K7, ``x(i-1)`` against the ``x(i)``
+store, ``y(k+1)``/``y(k)``) give the temporal tags; nearly everything
+is stride one or two, so the spatial tags are pervasive — the paper's
+figure 4a shows LIV with both bits set on most references.  K2's
+compaction write is a non-uniform dependence the simple analysis
+rightly misses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from ..compiler import Array, ArrayRef, Loop, LoopNest, Program, nest, var
+
+#: Sizes per scale: (vector_length, sweep_repetitions).
+LIV_SCALES: Dict[str, Tuple[int, int]] = {
+    "tiny": (64, 2),
+    "test": (300, 4),
+    "paper": (600, 12),
+}
+
+
+def _kernels(n: int) -> List[LoopNest]:
+    """One LoopNest per modelled Livermore kernel over vectors of ``n``."""
+    k = var("k")
+    pad = 16  # slack for the k+10 / k+11 subscripts
+
+    hydro = nest(
+        [Loop("k", 0, n)],
+        body=[
+            ArrayRef("Y", (k,)),
+            ArrayRef("Z", (k + 10,)),
+            ArrayRef("Z", (k + 11,)),
+            ArrayRef("X", (k,), is_write=True),
+        ],
+        name="liv-k1-hydro",
+    )
+    iccg = nest(
+        # Stride-halving compaction: the reads stride by two (still
+        # spatial: 2 < 4 elements); the read/write dependence is
+        # non-uniform, so no temporal tag — correctly.
+        [Loop("k", 0, n // 2)],
+        body=[
+            ArrayRef("X", (k * 2,)),
+            ArrayRef("Z", (k * 2 + 1,)),
+            ArrayRef("X", (k,), is_write=True),
+        ],
+        name="liv-k2-iccg",
+    )
+    inner_product = nest(
+        [Loop("k", 0, n)],
+        body=[ArrayRef("Z", (k,)), ArrayRef("X", (k,))],
+        name="liv-k3-inner",
+    )
+    state = nest(
+        # Equation of state: a three-member uniformly generated group on
+        # Y (constants 0, 3, 6) — all temporal, only Y(k+6) leads.
+        [Loop("k", 0, n)],
+        body=[
+            ArrayRef("Y", (k,)),
+            ArrayRef("Y", (k + 3,)),
+            ArrayRef("Y", (k + 6,)),
+            ArrayRef("Z", (k,)),
+            ArrayRef("X", (k,), is_write=True),
+        ],
+        name="liv-k7-state",
+    )
+    tridiag = nest(
+        [Loop("k", 1, n)],
+        body=[
+            ArrayRef("X", (k - 1,)),
+            ArrayRef("Y", (k,)),
+            ArrayRef("Z", (k,)),
+            ArrayRef("X", (k,), is_write=True),
+        ],
+        name="liv-k5-tridiag",
+    )
+    first_sum = nest(
+        [Loop("k", 1, n)],
+        body=[
+            ArrayRef("X", (k - 1,)),
+            ArrayRef("Y", (k,)),
+            ArrayRef("X", (k,), is_write=True),
+        ],
+        name="liv-k11-firstsum",
+    )
+    first_diff = nest(
+        [Loop("k", 0, n)],
+        body=[
+            ArrayRef("Y", (k + 1,)),
+            ArrayRef("Y", (k,)),
+            ArrayRef("X", (k,), is_write=True),
+        ],
+        name="liv-k12-firstdiff",
+    )
+    return [hydro, iccg, inner_product, tridiag, state, first_sum, first_diff]
+
+
+def liv_program(scale: str = "paper") -> Program:
+    """The Livermore Loops sweep, repeated as the benchmark harness does."""
+    if scale not in LIV_SCALES:
+        raise ConfigError(f"unknown LIV scale {scale!r}")
+    n, repeats = LIV_SCALES[scale]
+    pad = 16
+    arrays = [
+        Array("X", (n + pad,)),
+        Array("Y", (n + pad,)),
+        Array("Z", (n + pad,)),
+    ]
+    return Program("LIV", arrays, _kernels(n), repeat=repeats)

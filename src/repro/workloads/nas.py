@@ -1,0 +1,60 @@
+"""NAS — modelled after the NAS kernel benchmarks (MG-style relaxation).
+
+The dominant phase is a five-point relaxation sweep over a 2-D grid much
+larger than the cache, plus a residual-norm reduction pass.  Nearly
+every reference is stride one with long vector lengths, so the NAS entry
+of figure 1b is dominated by long vectors and its figure 6a gains come
+mostly from the virtual-line mechanism (compulsory/capacity misses on
+vector accesses).
+
+The five stencil taps on ``U`` are uniformly generated (constants
+``-n, -1, 0, +1, +n`` over the same linear form ``i + n*j``), giving all
+of them the temporal tag; the leader ``U(i,j+1)`` keeps the spatial tag
+while the trailing taps ride on its fetches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from ..compiler import Array, ArrayRef, Loop, Program, nest, var
+
+#: Sizes per scale: (grid_edge, sweeps).
+NAS_SCALES: Dict[str, Tuple[int, int]] = {
+    # Odd grid edges keep U and R from landing cache-size-aligned (a
+    # power-of-two grid would make every U(i,j)/R(i,j) pair collide).
+    "tiny": (25, 1),
+    "test": (67, 1),
+    "paper": (171, 1),
+}
+
+
+def nas_program(scale: str = "paper") -> Program:
+    """Relaxation sweep plus residual reduction over an out-of-cache grid."""
+    if scale not in NAS_SCALES:
+        raise ConfigError(f"unknown NAS scale {scale!r}")
+    n, sweeps = NAS_SCALES[scale]
+    i, j = var("i"), var("j")
+    arrays = [Array("U", (n, n)), Array("R", (n, n))]
+
+    relax = nest(
+        [Loop("j", 1, n - 1), Loop("i", 1, n - 1)],
+        body=[
+            ArrayRef("U", (i - 1, j)),
+            ArrayRef("U", (i, j)),
+            ArrayRef("U", (i + 1, j)),
+            ArrayRef("U", (i, j - 1)),
+            ArrayRef("U", (i, j + 1)),
+            ArrayRef("R", (i, j), is_write=True),
+        ],
+        name="nas-relax",
+    )
+    # Residual norm: a pure stride-one read sweep of R (no reuse at all —
+    # virtual lines hide its compulsory misses).
+    norm = nest(
+        [Loop("j", 0, n), Loop("i", 0, n)],
+        body=[ArrayRef("R", (i, j))],
+        name="nas-norm",
+    )
+    return Program("NAS", arrays, [relax, norm], repeat=sweeps)

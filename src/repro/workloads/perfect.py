@@ -1,0 +1,411 @@
+"""Synthetic models of the Perfect Club codes (MDG, BDN, DYF, TRF — plus
+ADM, ARC, FLO for figure 10a).
+
+The Perfect Club sources are not reproducible here, so each code is
+modelled as a mixture of loop idioms chosen to match what the paper
+reports about it (substitution documented in DESIGN.md):
+
+* **small working sets** (the distributed test inputs) — the paper notes
+  the Perfect codes ship with small test examples, so standard-cache
+  AMAT stays low and the potential improvement is modest (figure 6a);
+* **a large share of untagged references** (figure 4a): references
+  outside loops (scalar blocks) and loop bodies containing CALLs, for
+  which the paper's instrumentation clears all tags;
+* **dusty-deck pathologies**: badly ordered loops (non-stride-one inner
+  subscripts) and time loops that call sweep subroutines (``opaque``
+  loops — reuse across them is invisible to the analysis);
+* per-code signatures: DYF is temporal-dominated (the biggest
+  bounce-back winner of figure 6a), TRF is spatial-dominated and is the
+  one code whose memory traffic grows with virtual lines (figure 7a —
+  modelled by stride-2 accesses that are tagged spatial but use only
+  half of each virtual line), MDG/BDN are call/scalar-heavy.
+
+``perfect_kernel`` returns the "most time-consuming subroutine" variant
+of figure 10a: the computational nests alone, fully instrumented —
+no CALL bodies, no outside-loop references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Program,
+    ScalarBlock,
+    nest,
+    var,
+)
+
+#: Region where the synthetic scalar variables live, far above any array.
+SCALAR_REGION = 1 << 26
+
+#: Scale factors applied to the reference counts below.
+PERFECT_SCALES: Dict[str, float] = {"tiny": 0.02, "test": 0.12, "paper": 1.0}
+
+_CODES = ("ADM", "MDG", "BDN", "DYF", "ARC", "FLO", "TRF")
+
+#: A code model: (arrays, computational nests, support items, repetitions).
+CodeModel = Tuple[List[Array], List[LoopNest], List[ScalarBlock], int]
+
+
+def _scaled(scale: str, n: int, minimum: int = 2) -> int:
+    if scale not in PERFECT_SCALES:
+        raise ConfigError(f"unknown Perfect Club scale {scale!r}")
+    return max(minimum, int(n * PERFECT_SCALES[scale]))
+
+
+def _scalars(count: int, name: str, n_addresses: int = 12) -> ScalarBlock:
+    """Outside-loop references: a handful of scalar variables."""
+    addresses = tuple(SCALAR_REGION + 8 * k for k in range(n_addresses))
+    return ScalarBlock(addresses, count=count, write_every=5, name=name)
+
+
+# ---------------------------------------------------------------------------
+# MDG — molecular dynamics of water.  Pairwise-interaction loops whose
+# bodies call the potential subroutine (tags cleared), a tagged
+# neighbour-accumulation loop, plenty of scalar traffic.  Small arrays.
+# ---------------------------------------------------------------------------
+def _mdg(scale: str) -> CodeModel:
+    n_mol = _scaled(scale, 100)
+    sweeps = _scaled(scale, 60)
+    w_len = _scaled(scale, 1600)
+    i, j, s, k = var("i"), var("j"), var("s"), var("k")
+    arrays = [
+        Array("XM", (n_mol,)),
+        Array("FM", (n_mol,)),
+        Array("VM", (n_mol,)),
+        Array("W", (w_len,)),
+    ]
+    pair = nest(
+        [Loop("i", 0, n_mol), Loop("j", 0, n_mol)],
+        body=[
+            ArrayRef("XM", (j,)),
+            ArrayRef("FM", (j,)),
+            ArrayRef("FM", (j,), is_write=True),
+        ],
+        name="mdg-pair",
+    )
+    forces_call = nest(
+        [Loop("s", 0, sweeps), Loop("k", 0, n_mol)],
+        body=[
+            ArrayRef("XM", (k,)),
+            ArrayRef("VM", (k,)),
+            ArrayRef("FM", (k,), is_write=True),
+        ],
+        has_call=True,
+        name="mdg-forces(call)",
+    )
+    predict = nest(
+        # The predictor time loop calls the sweep subroutine: reuse across
+        # its iterations is invisible to the analysis.
+        [Loop("s", 0, _scaled(scale, 8), opaque=True), Loop("k", 0, w_len)],
+        body=[ArrayRef("W", (k,))],
+        name="mdg-predict",
+    )
+    scalars = _scalars(_scaled(scale, 60_000), "mdg-scalars")
+    return arrays, [pair, forces_call, predict], [scalars], 1
+
+
+# ---------------------------------------------------------------------------
+# BDN — engineering design code.  Dusty-deck: a badly ordered 2-D sweep
+# (inner subscript strides by the leading dimension), stride-one update
+# sweeps, a CALL loop and scalar traffic.
+# ---------------------------------------------------------------------------
+def _bdn(scale: str) -> CodeModel:
+    # Odd leading dimension: the strided inner sweep spreads over all
+    # cache sets (a power-of-two dimension would pathologically alias).
+    n = _scaled(scale, 90)
+    v_len = _scaled(scale, 1400)
+    reps = _scaled(scale, 6)
+    i, j, r, k = var("i"), var("j"), var("r"), var("k")
+    arrays = [
+        Array("G", (n, n)),
+        Array("U", (v_len,)),
+        Array("V", (v_len,)),
+    ]
+    bad_order = nest(
+        # A(I,J) with J innermost: the inner stride is the leading
+        # dimension — no spatial tag, no visible reuse, pure pollution.
+        [Loop("r", 0, reps, opaque=True), Loop("i", 0, n), Loop("j", 0, n)],
+        body=[ArrayRef("G", (i, j))],
+        name="bdn-badorder",
+    )
+    update = nest(
+        [Loop("r", 0, reps * 3, opaque=True), Loop("k", 0, v_len)],
+        body=[ArrayRef("U", (k,)), ArrayRef("V", (k,), is_write=True)],
+        name="bdn-update",
+    )
+    assembly_call = nest(
+        [Loop("r", 0, reps, opaque=True), Loop("k", 0, v_len)],
+        body=[ArrayRef("U", (k,)), ArrayRef("G", (0, 0))],
+        has_call=True,
+        name="bdn-assembly(call)",
+    )
+    # Dusty-deck alias idiom (section 3.2): the subscript is computed
+    # into a temporary (KK = 2*K), so without subscript expansion the
+    # stride is invisible and the reference stays untagged.
+    kk = var("kk")
+    aliased = nest(
+        [Loop("r", 0, reps, opaque=True), Loop("k", 0, v_len // 2)],
+        body=[ArrayRef("V", (kk,))],
+        aliases={"kk": k * 2},
+        name="bdn-aliased",
+    )
+    scalars = _scalars(_scaled(scale, 55_000), "bdn-scalars")
+    return arrays, [bad_order, update, assembly_call, aliased], [scalars], 1
+
+
+# ---------------------------------------------------------------------------
+# DYF — hydrodynamics (the paper's biggest bounce-back winner: temporal
+# bit set on >30% of entries).  Each time step sweeps the state vectors
+# twice (predictor/corrector — visible, tagged temporal reuse) and then
+# re-gathers a cell table whose scan strides a full cache line per
+# reference: untagged pollution that flushes the state between steps.
+# ---------------------------------------------------------------------------
+def _dyf(scale: str) -> CodeModel:
+    n = _scaled(scale, 300)
+    gather_lines = _scaled(scale, 300)
+    steps = _scaled(scale, 40)
+    i, t = var("i"), var("t")
+    arrays = [
+        Array("VS", (n,)),
+        Array("WS", (n,)),
+        Array("GP", (4 * gather_lines,)),
+    ]
+    state = nest(
+        [Loop("t", 0, 2), Loop("i", 0, n)],
+        body=[
+            ArrayRef("VS", (i,)),
+            ArrayRef("WS", (i,)),
+            ArrayRef("WS", (i,), is_write=True),
+        ],
+        name="dyf-state",
+    )
+    # An indexed gather over the cell table: one 32-byte line per
+    # reference, in permuted order.  Indirect addressing leaves it
+    # untagged (no spatial, no temporal) — pure pollution that the
+    # bounce-back cache absorbs, and that defeats next-line prefetching.
+    permutation = np.random.default_rng(97).permutation(gather_lines) * 4
+    gather = nest(
+        [Loop("i", 0, gather_lines)],
+        body=[
+            ArrayRef("GP", (i,), indirect=tuple(int(v) for v in permutation))
+        ],
+        name="dyf-gather",
+    )
+    scalars = _scalars(_scaled(scale, 900), "dyf-scalars")
+    return arrays, [state, gather], [scalars], steps
+
+
+# ---------------------------------------------------------------------------
+# TRF — transform/analysis code: long stride-one sweeps over large
+# arrays (spatial-dominated), stride-2 passes (tagged spatial but using
+# only half of every virtual line: the figure 7a traffic growth), and a
+# cross-interfering vector pair one cache-size apart (victim/bounce-back
+# territory).
+# ---------------------------------------------------------------------------
+def _trf(scale: str) -> CodeModel:
+    big = _scaled(scale, 4000)
+    half = _scaled(scale, 1800)
+    pair_n = _scaled(scale, 256)
+    small = _scaled(scale, 240)
+    i, r, t = var("i"), var("r"), var("t")
+    cache_bytes = 8 * 1024
+    arrays = [
+        Array("TA", (2 * big,)),
+        Array("TB", (2 * big,)),
+        # P and Q padded so they map onto the same cache sets.
+        Array("P", (cache_bytes // 8,)),
+        Array("Q", (pair_n,)),
+        Array("TC", (small,)),
+        Array("TD", (small,)),
+        Array("TE", (_scaled(scale, 5200) * 41 + 6,)),
+    ]
+    transform = nest(
+        [Loop("r", 0, _scaled(scale, 3), opaque=True), Loop("i", 0, big)],
+        body=[ArrayRef("TA", (i,)), ArrayRef("TB", (i,), is_write=True)],
+        name="trf-transform",
+    )
+    stride2 = nest(
+        # Stride two: tagged spatial (2 < 4 elements) but only half of
+        # every fetched virtual line is used — the figure 7a traffic
+        # growth that singles TRF out.
+        [Loop("r", 0, _scaled(scale, 3), opaque=True), Loop("i", 0, half)],
+        body=[ArrayRef("TA", (i * 2,)), ArrayRef("TB", (i * 2,))],
+        name="trf-stride2",
+    )
+    conflict = nest(
+        [Loop("r", 0, _scaled(scale, 6)), Loop("i", 0, pair_n)],
+        body=[
+            ArrayRef("P", (i,)),
+            ArrayRef("Q", (i,)),
+            ArrayRef("Q", (i,), is_write=True),
+        ],
+        name="trf-conflict",
+    )
+    short_rows = nest(
+        # Many short (6-element) stride-one rows starting at unaligned
+        # offsets (41-element row pitch, so the 64-byte alignment of
+        # row starts rotates): tagged spatial, but each
+        # virtual-line fetch drags in words past the end of the row that
+        # are never referenced — the figure 7a traffic growth of TRF.
+        [Loop("r", 0, _scaled(scale, 5200)), Loop("i", 0, 6)],
+        body=[ArrayRef("TE", (r * 41 + i,))],
+        name="trf-shortrows",
+    )
+    window = nest(
+        [Loop("t", 0, _scaled(scale, 30)), Loop("i", 0, small)],
+        body=[
+            ArrayRef("TC", (i,)),
+            ArrayRef("TD", (i,)),
+            ArrayRef("TD", (i,), is_write=True),
+        ],
+        name="trf-window",
+    )
+    scalars = _scalars(_scaled(scale, 36_000), "trf-scalars")
+    return (
+        arrays,
+        [transform, stride2, conflict, window, short_rows],
+        [scalars],
+        1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ADM — pseudospectral air-pollution model: alternating-direction
+# sweeps over a 2-D field (kernel-only code, used by figure 10a).
+# ---------------------------------------------------------------------------
+def _adm(scale: str) -> CodeModel:
+    n = _scaled(scale, 120)
+    i, j = var("i"), var("j")
+    arrays = [Array("F", (n, n)), Array("D", (n, n)), Array("CF", (n,))]
+    x_sweep = nest(
+        [Loop("j", 0, n), Loop("i", 1, n - 1)],
+        body=[
+            ArrayRef("F", (i - 1, j)),
+            ArrayRef("F", (i, j)),
+            ArrayRef("F", (i + 1, j)),
+            ArrayRef("CF", (i,)),
+            ArrayRef("D", (i, j), is_write=True),
+        ],
+        name="adm-xsweep",
+    )
+    y_sweep = nest(
+        [Loop("j", 1, n - 1), Loop("i", 0, n)],
+        body=[
+            ArrayRef("D", (i, j - 1)),
+            ArrayRef("D", (i, j)),
+            ArrayRef("D", (i, j + 1)),
+            ArrayRef("F", (i, j), is_write=True),
+        ],
+        name="adm-ysweep",
+    )
+    scalars = _scalars(_scaled(scale, 16_000), "adm-scalars")
+    return arrays, [x_sweep, y_sweep], [scalars], 1
+
+
+# ---------------------------------------------------------------------------
+# ARC — 2-D implicit fluid code: per-column recurrences (forward
+# elimination / back substitution shape).
+# ---------------------------------------------------------------------------
+def _arc(scale: str) -> CodeModel:
+    n = _scaled(scale, 150)
+    i, j = var("i"), var("j")
+    arrays = [Array("XA", (n, n)), Array("AB", (n, n)), Array("BB", (n, n))]
+    eliminate = nest(
+        [Loop("j", 0, n), Loop("i", 1, n)],
+        body=[
+            ArrayRef("XA", (i - 1, j)),
+            ArrayRef("AB", (i, j)),
+            ArrayRef("BB", (i, j)),
+            ArrayRef("XA", (i, j), is_write=True),
+        ],
+        name="arc-eliminate",
+    )
+    smooth = nest(
+        [Loop("j", 0, n), Loop("i", 0, n)],
+        body=[ArrayRef("AB", (i, j)), ArrayRef("BB", (i, j), is_write=True)],
+        name="arc-smooth",
+    )
+    scalars = _scalars(_scaled(scale, 18_000), "arc-scalars")
+    return arrays, [eliminate, smooth], [scalars], 1
+
+
+# ---------------------------------------------------------------------------
+# FLO — transonic-flow solver: flux-difference stencils with a reused
+# per-row coefficient vector.
+# ---------------------------------------------------------------------------
+def _flo(scale: str) -> CodeModel:
+    n = _scaled(scale, 140)
+    i, j = var("i"), var("j")
+    arrays = [Array("UF", (n, n)), Array("FX", (n, n)), Array("CV", (n,))]
+    flux = nest(
+        [Loop("j", 0, n), Loop("i", 0, n - 1)],
+        body=[
+            ArrayRef("UF", (i, j)),
+            ArrayRef("UF", (i + 1, j)),
+            ArrayRef("CV", (i,)),
+            ArrayRef("FX", (i, j), is_write=True),
+        ],
+        name="flo-flux",
+    )
+    accumulate = nest(
+        [Loop("j", 0, n), Loop("i", 1, n)],
+        body=[
+            ArrayRef("FX", (i - 1, j)),
+            ArrayRef("FX", (i, j)),
+            ArrayRef("UF", (i, j), is_write=True),
+        ],
+        name="flo-accumulate",
+    )
+    scalars = _scalars(_scaled(scale, 18_000), "flo-scalars")
+    return arrays, [flux, accumulate], [scalars], 1
+
+
+_BUILDERS = {
+    "ADM": _adm,
+    "MDG": _mdg,
+    "BDN": _bdn,
+    "DYF": _dyf,
+    "ARC": _arc,
+    "FLO": _flo,
+    "TRF": _trf,
+}
+
+
+def perfect_program(code: str, scale: str = "paper") -> Program:
+    """The full synthetic Perfect Club code: kernels + CALL loops +
+    outside-loop scalar references."""
+    if code not in _BUILDERS:
+        raise ConfigError(f"unknown Perfect Club code {code!r} (have {_CODES})")
+    arrays, nests, scalars, repeat = _BUILDERS[code](scale)
+    return Program(code, arrays, list(nests) + list(scalars), repeat=repeat)
+
+
+def perfect_kernel(code: str, scale: str = "paper") -> Program:
+    """The figure 10a variant: the most time-consuming subroutines,
+    manually and fully instrumented (CALL bodies and scalar noise
+    removed, tags active everywhere)."""
+    if code not in _BUILDERS:
+        raise ConfigError(f"unknown Perfect Club code {code!r} (have {_CODES})")
+    arrays, nests, _, repeat = _BUILDERS[code](scale)
+    kernels = [
+        LoopNest(
+            loops=n.loops,
+            body=n.body,
+            pre=n.pre,
+            post=n.post,
+            has_call=False,
+            name=n.name,
+            aliases=n.aliases,
+        )
+        for n in nests
+    ]
+    return Program(f"{code}-kernel", arrays, kernels, repeat=repeat)

@@ -1,0 +1,100 @@
+"""Benchmark registry: the paper's suite by name, with trace caching.
+
+The nine benchmarks of the main evaluation (figures 1, 3, 4, 6-9, 12)
+are ``MDG, BDN, DYF, TRF, NAS, Slalom, LIV, MV, SpMV`` — always listed
+in the paper's plotting order.  Figure 10a adds the manually
+instrumented kernels of seven Perfect Club codes
+(``ADM, MDG, BDN, DYF, ARC, FLO, TRF``).
+
+Traces are deterministic (seeded) and cached per ``(name, scale, seed)``
+so a whole experiment battery generates each one once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import ConfigError
+from ..compiler import Program, generate_trace
+from ..memtrace.trace import Trace
+from .blocked import blocked_mm_program
+from .dense import blocked_mv_program, mv_program
+from .livermore import liv_program
+from .nas import nas_program
+from .perfect import perfect_kernel, perfect_program
+from .slalom import slalom_program
+from .sparse import spmv_program
+
+#: The paper's benchmark order on every bar chart.
+BENCHMARK_ORDER: Tuple[str, ...] = (
+    "MDG", "BDN", "DYF", "TRF", "NAS", "Slalom", "LIV", "MV", "SpMV",
+)
+
+#: Figure 10a's kernel set, in the paper's order.
+KERNEL_ORDER: Tuple[str, ...] = (
+    "ADM", "MDG", "BDN", "DYF", "ARC", "FLO", "TRF",
+)
+
+_PROGRAM_BUILDERS: Dict[str, Callable[[str], Program]] = {
+    "MDG": lambda scale: perfect_program("MDG", scale),
+    "BDN": lambda scale: perfect_program("BDN", scale),
+    "DYF": lambda scale: perfect_program("DYF", scale),
+    "TRF": lambda scale: perfect_program("TRF", scale),
+    "NAS": nas_program,
+    "Slalom": slalom_program,
+    "LIV": liv_program,
+    "MV": mv_program,
+    "SpMV": spmv_program,
+}
+
+
+def benchmark_names() -> List[str]:
+    """All registered benchmark names, in plotting order."""
+    return list(BENCHMARK_ORDER)
+
+
+def build_program(name: str, scale: str = "paper") -> Program:
+    """The loop-nest program of a registered benchmark."""
+    try:
+        builder = _PROGRAM_BUILDERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown benchmark {name!r}; known: {sorted(_PROGRAM_BUILDERS)}"
+        ) from None
+    return builder(scale)
+
+
+@lru_cache(maxsize=128)
+def get_trace(name: str, scale: str = "paper", seed: int = 0) -> Trace:
+    """The instrumented trace of a benchmark (cached)."""
+    return generate_trace(build_program(name, scale), seed=seed)
+
+
+@lru_cache(maxsize=64)
+def get_kernel_trace(code: str, scale: str = "paper", seed: int = 0) -> Trace:
+    """Figure 10a: trace of a manually instrumented Perfect Club kernel."""
+    return generate_trace(perfect_kernel(code, scale), seed=seed)
+
+
+@lru_cache(maxsize=64)
+def get_blocked_mv_trace(
+    block: int, scale: str = "paper", seed: int = 0
+) -> Trace:
+    """Figure 11a: blocked matrix-vector multiply at one block size."""
+    return generate_trace(blocked_mv_program(block, scale), seed=seed)
+
+
+@lru_cache(maxsize=64)
+def get_blocked_mm_trace(
+    leading_dim: int, copying: bool, scale: str = "paper", seed: int = 0
+) -> Trace:
+    """Figure 11b: blocked matrix-matrix multiply at one leading dimension."""
+    return generate_trace(
+        blocked_mm_program(leading_dim, copying, scale), seed=seed
+    )
+
+
+def suite_traces(scale: str = "paper", seed: int = 0) -> Dict[str, Trace]:
+    """All nine main benchmarks, in order (the common experiment input)."""
+    return {name: get_trace(name, scale, seed) for name in BENCHMARK_ORDER}

@@ -1,0 +1,57 @@
+"""Slalom — modelled after the SLALOM benchmark's dense solver phase.
+
+SLALOM spends its time in a dense Gaussian factorisation of the
+radiosity matrix.  The model is the right-looking update that dominates
+it::
+
+    DO k = 0,K-1                ! elimination steps
+       DO j = k+1,N-1           ! remaining columns
+          DO i = k+1,N-1        ! remaining rows
+             A(i,j) -= A(i,k) * A(k,j)
+          ENDDO
+       ENDDO
+    ENDDO
+
+(The triangularity is approximated by rectangular loops over the
+trailing submatrix — the locality structure, not the flop count, is what
+the cache sees.)  ``A(i,k)`` is a stride-one column reused across all
+``j`` (temporal + spatial); ``A(k,j)`` is invariant in the inner loop
+(temporal); the ``A(i,j)`` read/write pair is a uniformly generated
+group.  The matrix itself is several times the cache size, so the pivot
+column keeps getting flushed between uses — bounce-back territory —
+while the ``A(i,j)`` sweep wants virtual lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from ..compiler import Array, ArrayRef, Loop, Program, nest, var
+
+#: Sizes per scale: (matrix_order, elimination_steps).
+SLALOM_SCALES: Dict[str, Tuple[int, int]] = {
+    "tiny": (24, 2),
+    "test": (60, 3),
+    "paper": (112, 4),
+}
+
+
+def slalom_program(scale: str = "paper") -> Program:
+    """The dense right-looking factorisation update of SLALOM."""
+    if scale not in SLALOM_SCALES:
+        raise ConfigError(f"unknown Slalom scale {scale!r}")
+    n, steps = SLALOM_SCALES[scale]
+    i, j, k = var("i"), var("j"), var("k")
+    arrays = [Array("A", (n, n))]
+    update = nest(
+        [Loop("k", 0, steps), Loop("j", 1, n), Loop("i", 1, n)],
+        body=[
+            ArrayRef("A", (i, k)),
+            ArrayRef("A", (k, j)),
+            ArrayRef("A", (i, j)),
+            ArrayRef("A", (i, j), is_write=True),
+        ],
+        name="slalom-update",
+    )
+    return Program("Slalom", arrays, [update])

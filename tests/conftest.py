@@ -1,0 +1,99 @@
+"""Shared fixtures: small deterministic traces and cache configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import Array, ArrayRef, Loop, Program, nest, var
+from repro.core import SoftCacheConfig
+from repro.memtrace import Trace, UNIT_GAPS
+from repro.sim import CacheGeometry, MemoryTiming
+
+
+def make_trace(
+    addresses,
+    is_write=None,
+    temporal=None,
+    spatial=None,
+    gaps=None,
+    name="t",
+    ref_ids=None,
+):
+    """Build a trace from plain lists, with untagged defaults."""
+    n = len(addresses)
+
+    def col(values, default, dtype):
+        if values is None:
+            return np.full(n, default, dtype=dtype)
+        return np.asarray(values, dtype=dtype)
+
+    return Trace(
+        np.asarray(addresses, dtype=np.int64),
+        col(is_write, False, bool),
+        col(temporal, False, bool),
+        col(spatial, False, bool),
+        col(gaps, 1, np.int64),
+        name=name,
+        ref_ids=None if ref_ids is None else np.asarray(ref_ids, dtype=np.int64),
+    )
+
+
+@pytest.fixture
+def tiny_geometry():
+    """A 4-set direct-mapped cache of 32-byte lines (128 B total)."""
+    return CacheGeometry(size_bytes=128, line_size=32, ways=1)
+
+
+@pytest.fixture
+def fast_timing():
+    """Simple round numbers: latency 10, 1-line transfer 2 cycles."""
+    return MemoryTiming(latency=10, bus_bytes_per_cycle=16)
+
+
+@pytest.fixture
+def tiny_soft_config(fast_timing):
+    """A minimal software-assisted configuration for unit tests."""
+    return SoftCacheConfig(
+        size_bytes=128,
+        line_size=32,
+        ways=1,
+        bounce_back_lines=2,
+        virtual_line_size=64,
+        timing=fast_timing,
+    )
+
+
+@pytest.fixture
+def fig5_program():
+    """The paper's figure 5 instrumented loop (ground-truth tags)."""
+    n = 8
+    i, j = var("i"), var("j")
+    arrays = [
+        Array("A", (n, n)),
+        Array("B", (n, n + 1)),
+        Array("X", (n,)),
+        Array("Y", (n,)),
+    ]
+    loop = nest(
+        [Loop("i", 0, n), Loop("j", 0, n)],
+        body=[
+            ArrayRef("A", (i, j)),
+            ArrayRef("B", (j, i)),
+            ArrayRef("B", (j, i + 1)),
+            ArrayRef("X", (j,)),
+            ArrayRef("Y", (i,)),
+            ArrayRef("Y", (i,), is_write=True),
+        ],
+        name="fig5",
+    )
+    return Program("fig5", arrays, [loop])
+
+
+@pytest.fixture
+def mv_tiny_trace():
+    """A small matrix-vector trace exercising pollution and reuse."""
+    from repro.compiler import generate_trace
+    from repro.workloads import mv_program
+
+    return generate_trace(mv_program("tiny"), seed=3, gap_distribution=UNIT_GAPS)

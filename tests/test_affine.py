@@ -1,0 +1,149 @@
+"""Unit and property tests for affine index expressions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler import Affine, var
+from repro.errors import CompilerError
+
+
+class TestConstruction:
+    def test_constant(self):
+        e = Affine.constant(7)
+        assert e.const == 7
+        assert e.is_constant()
+
+    def test_variable(self):
+        e = var("i")
+        assert e.coefficient("i") == 1
+        assert e.coefficient("j") == 0
+        assert e.variables == {"i"}
+
+    def test_build(self):
+        e = Affine.build(2, i=1, j=4)
+        assert e.const == 2
+        assert e.coefficient("i") == 1
+        assert e.coefficient("j") == 4
+
+    def test_zero_coefficients_dropped(self):
+        e = Affine.build(0, i=0, j=3)
+        assert e.variables == {"j"}
+
+    def test_terms_normalised_for_equality(self):
+        a = Affine(1, (("i", 2), ("j", 3)))
+        b = Affine(1, (("j", 3), ("i", 2)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestArithmetic:
+    def test_add_int(self):
+        assert (var("i") + 5).const == 5
+
+    def test_radd_int(self):
+        assert (5 + var("i")).const == 5
+
+    def test_add_affine(self):
+        e = var("i") + var("j") + var("i")
+        assert e.coefficient("i") == 2
+        assert e.coefficient("j") == 1
+
+    def test_sub(self):
+        e = var("i") - var("i")
+        assert e.is_constant()
+        assert e.const == 0
+
+    def test_sub_int(self):
+        assert (var("i") - 3).const == -3
+
+    def test_mul(self):
+        e = (var("i") + 2) * 3
+        assert e.const == 6
+        assert e.coefficient("i") == 3
+
+    def test_rmul(self):
+        assert (4 * var("k")).coefficient("k") == 4
+
+    def test_neg(self):
+        e = -(var("i") + 1)
+        assert e.const == -1
+        assert e.coefficient("i") == -1
+
+    def test_mul_non_integer_rejected(self):
+        with pytest.raises(CompilerError):
+            var("i") * 1.5  # noqa: B018
+
+    def test_mul_by_zero_collapses(self):
+        e = (var("i") + 3) * 0
+        assert e.is_constant()
+
+
+class TestIntrospection:
+    def test_drop_const(self):
+        a = Affine.build(5, i=1)
+        b = Affine.build(9, i=1)
+        assert a.drop_const() == b.drop_const()
+
+    def test_drop_const_distinguishes_linear_parts(self):
+        assert Affine.build(0, i=1).drop_const() != Affine.build(0, i=2).drop_const()
+
+    def test_str_readable(self):
+        assert "i" in str(var("i") + 2)
+        assert str(Affine.constant(0)) == "0"
+
+
+class TestEvaluation:
+    def test_scalar(self):
+        e = Affine.build(1, i=2, j=3)
+        assert e.evaluate({"i": 10, "j": 100}) == 321
+
+    def test_numpy_broadcast(self):
+        e = Affine.build(0, i=1, j=10)
+        i = np.arange(3).reshape(3, 1)
+        j = np.arange(2).reshape(1, 2)
+        out = e.evaluate({"i": i, "j": j})
+        assert out.shape == (3, 2)
+        assert out[2, 1] == 12
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(CompilerError):
+            var("i").evaluate({})
+
+    def test_extra_bindings_ignored(self):
+        assert var("i").evaluate({"i": 1, "z": 9}) == 1
+
+
+small_ints = st.integers(min_value=-50, max_value=50)
+var_names = st.sampled_from(["i", "j", "k"])
+affines = st.builds(
+    lambda c, coeffs: Affine(c, tuple(coeffs.items())),
+    small_ints,
+    st.dictionaries(var_names, small_ints, max_size=3),
+)
+envs = st.fixed_dictionaries(
+    {"i": small_ints, "j": small_ints, "k": small_ints}
+)
+
+
+class TestProperties:
+    @given(affines, affines, envs)
+    def test_addition_is_pointwise(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affines, small_ints, envs)
+    def test_scaling_is_pointwise(self, a, s, env):
+        assert (a * s).evaluate(env) == s * a.evaluate(env)
+
+    @given(affines, affines)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(affines)
+    def test_subtracting_self_gives_zero(self, a):
+        assert (a - a) == Affine.constant(0)
+
+    @given(affines, envs)
+    def test_drop_const_shifts_by_const(self, a, env):
+        assert a.evaluate(env) == a.drop_const().evaluate(env) + a.const

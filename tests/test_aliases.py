@@ -1,0 +1,106 @@
+"""Tests for subscript aliases and subscript expansion (section 3.2)."""
+
+import pytest
+
+from repro.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    Program,
+    analyze_nest,
+    generate_trace,
+    nest,
+    var,
+)
+from repro.errors import CompilerError
+from repro.memtrace import UNIT_GAPS
+
+j, k, kk = var("j"), var("k"), var("kk")
+
+
+def aliased_nest(**kwargs):
+    return nest(
+        [Loop("i", 0, 4), Loop("k", 0, 8)],
+        body=[ArrayRef("A", (kk,))],
+        aliases={"kk": k * 2 + 1},
+        **kwargs,
+    )
+
+
+def arrays():
+    return {"A": Array("A", (17,))}
+
+
+class TestValidation:
+    def test_alias_cannot_shadow_loop_index(self):
+        with pytest.raises(CompilerError):
+            nest(
+                [Loop("k", 0, 8)],
+                [ArrayRef("A", (k,))],
+                aliases={"k": k + 1},
+            )
+
+    def test_alias_must_use_known_indices(self):
+        with pytest.raises(CompilerError):
+            nest(
+                [Loop("k", 0, 8)],
+                [ArrayRef("A", (kk,))],
+                aliases={"kk": var("zz") * 2},
+            )
+
+
+class TestExpansion:
+    def test_expanded_rewrites_subscripts(self):
+        expanded = aliased_nest().expanded()
+        subscript = expanded.body[0].subscripts[0]
+        assert subscript.coefficient("k") == 2
+        assert subscript.const == 1
+        assert not expanded.aliases
+
+    def test_expanded_noop_without_aliases(self):
+        plain = nest([Loop("k", 0, 8)], [ArrayRef("A", (k,))])
+        assert plain.expanded() is plain
+
+    def test_resolve_aliases(self):
+        expression = aliased_nest().resolve_aliases(kk + 3)
+        assert expression.coefficient("k") == 2
+        assert expression.const == 4
+
+
+class TestAnalysis:
+    def test_aliased_ref_untagged_by_default(self):
+        tags = analyze_nest(aliased_nest(), arrays())
+        assert not tags.body[0].temporal and not tags.body[0].spatial
+        assert any("subscript expansion" in r for r in tags.body[0].reasons)
+
+    def test_expansion_recovers_tags(self):
+        tags = analyze_nest(aliased_nest(), arrays(), expand_subscripts=True)
+        # stride 2 < 4 -> spatial; invariant in i -> temporal.
+        assert tags.body[0].spatial and tags.body[0].temporal
+
+    def test_directive_still_overrides(self):
+        loop = nest(
+            [Loop("i", 0, 4), Loop("k", 0, 8)],
+            body=[ArrayRef("A", (kk,), temporal=True)],
+            aliases={"kk": k * 2 + 1},
+        )
+        tags = analyze_nest(loop, arrays())
+        assert tags.body[0].temporal
+
+
+class TestGeneration:
+    def test_addresses_always_expanded(self):
+        program = Program("p", [Array("A", (17,))], [aliased_nest()])
+        trace = generate_trace(program, gap_distribution=UNIT_GAPS)
+        # kk = 2k + 1 over k = 0..7: odd elements.
+        assert trace.addresses[:8].tolist() == [8 * (2 * v + 1) for v in range(8)]
+
+    def test_expansion_changes_only_tags(self):
+        program = Program("p", [Array("A", (17,))], [aliased_nest()])
+        plain = generate_trace(program, gap_distribution=UNIT_GAPS)
+        expanded = generate_trace(
+            program, gap_distribution=UNIT_GAPS, expand_subscripts=True
+        )
+        assert (plain.addresses == expanded.addresses).all()
+        assert not plain.spatial.any()
+        assert expanded.spatial.all()

@@ -1,0 +1,110 @@
+"""Tests for the HP-7200-style assist cache."""
+
+import pytest
+
+from repro.core import HPAssistCache
+from repro.errors import ConfigError
+from repro.sim import CacheGeometry, MemoryTiming
+
+TIMING = MemoryTiming(latency=10, bus_bytes_per_cycle=16)
+PENALTY = 12
+
+
+def make_cache(assist_lines=2):
+    return HPAssistCache(
+        CacheGeometry(128, 32, 1), TIMING, assist_lines=assist_lines
+    )
+
+
+def access(cache, address, now, write=False, temporal=False, spatial=False):
+    return cache.access(address, write, temporal, spatial, now)
+
+
+class TestBasics:
+    def test_needs_assist_lines(self):
+        with pytest.raises(ConfigError):
+            HPAssistCache(CacheGeometry(128, 32, 1), TIMING, assist_lines=0)
+
+    def test_miss_fills_assist_not_main(self):
+        c = make_cache()
+        assert access(c, 0, now=0) == PENALTY
+        assert c.in_assist(0) and not c.in_main(0)
+
+    def test_assist_hit_costs_one_cycle(self):
+        # Parallel probe: the HP design's key timing advantage.
+        c = make_cache()
+        access(c, 0, now=0)
+        assert access(c, 8, now=100) == 1
+        assert c.stats.hits_assist == 1
+
+    def test_unhinted_line_promotes_on_fifo_exit(self):
+        c = make_cache(assist_lines=2)
+        access(c, 0, now=0)
+        access(c, 32, now=100)
+        access(c, 64, now=200)  # FIFO ages line 0 out -> promoted
+        assert c.in_main(0)
+        assert c.stats.bounce_backs == 1  # promotion counter
+        assert access(c, 0, now=300) == 1
+        assert c.stats.hits_main == 1
+
+    def test_spatial_only_line_discarded(self):
+        c = make_cache(assist_lines=2)
+        access(c, 0, now=0, spatial=True)          # spatial-only hint
+        access(c, 32, now=100)
+        access(c, 64, now=200)                     # line 0 ages out
+        assert not c.in_main(0) and not c.in_assist(0)
+        assert access(c, 0, now=300) == PENALTY    # it never polluted main
+
+    def test_temporal_hint_promotes(self):
+        c = make_cache(assist_lines=2)
+        access(c, 0, now=0, temporal=True, spatial=True)
+        access(c, 32, now=100)
+        access(c, 64, now=200)
+        assert c.in_main(0)
+
+    def test_temporal_touch_clears_hint(self):
+        c = make_cache(assist_lines=2)
+        access(c, 0, now=0, spatial=True)           # hinted spatial-only
+        access(c, 8, now=100, temporal=True)        # later temporal touch
+        access(c, 32, now=200)
+        access(c, 64, now=300)
+        assert c.in_main(0)                         # promoted after all
+
+
+class TestWrites:
+    def test_dirty_discard_writes_back(self):
+        c = make_cache(assist_lines=1)
+        access(c, 0, now=0, write=True, spatial=True)
+        access(c, 32, now=100)  # ages out the dirty spatial-only line
+        assert c.stats.writebacks == 1
+
+    def test_dirty_promotion_keeps_data(self):
+        c = make_cache(assist_lines=1)
+        access(c, 0, now=0, write=True)
+        access(c, 32, now=100)  # promotes dirty line 0 to main
+        assert c.stats.writebacks == 0
+        assert c.in_main(0)
+
+    def test_promotion_evicts_main_occupant(self):
+        c = make_cache(assist_lines=1)
+        access(c, 0, now=0)
+        access(c, 32, now=100)      # promotes 0
+        access(c, 128, now=200)     # into assist
+        access(c, 160, now=300)     # promotes 128, evicting 0 (same set)
+        assert c.in_main(128) and not c.in_main(0)
+
+
+class TestAccounting:
+    def test_conservation(self):
+        c = make_cache()
+        for k, addr in enumerate([0, 8, 32, 0, 64, 96, 0]):
+            access(c, addr, now=100 * k)
+        s = c.stats
+        assert s.refs == s.hits_main + s.hits_assist + s.misses
+
+    def test_reset(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        c.reset()
+        assert c.stats.refs == 0
+        assert not c.in_assist(0)

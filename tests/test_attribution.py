@@ -1,0 +1,89 @@
+"""Tests for per-instruction miss attribution."""
+
+import pytest
+
+from repro.core import presets
+from repro.errors import TraceError
+from repro.metrics import attribute
+from repro.sim import CacheGeometry, MemoryTiming, StandardCache
+
+from conftest import make_trace
+
+TIMING = MemoryTiming(latency=10, bus_bytes_per_cycle=16)
+
+
+def cache():
+    return StandardCache(CacheGeometry(128, 32, 1), TIMING)
+
+
+class TestAttribution:
+    def test_requires_ref_ids(self):
+        with pytest.raises(TraceError):
+            attribute(cache(), make_trace([0, 8]))
+
+    def test_counters_per_instruction(self):
+        # Instruction 0 streams (misses); instruction 1 re-hits one word.
+        trace = make_trace(
+            [0, 64, 32, 64, 96, 64],
+            ref_ids=[0, 1, 0, 1, 0, 1],
+            gaps=[100] * 6,
+        )
+        result = attribute(cache(), trace)
+        assert result.per_instruction[0].refs == 3
+        assert result.per_instruction[0].misses == 3
+        assert result.per_instruction[1].misses == 1
+        assert result.per_instruction[1].refs == 3
+
+    def test_totals_match_simulation(self, mv_tiny_trace):
+        from repro.sim import simulate
+
+        sim_result = simulate(presets.standard(), mv_tiny_trace)
+        result = attribute(presets.standard(), mv_tiny_trace)
+        assert result.total_refs == sim_result.refs
+        assert result.total_misses == sim_result.misses
+
+    def test_miss_ratio(self):
+        trace = make_trace([0, 0, 0, 0], ref_ids=[7] * 4, gaps=[100] * 4)
+        result = attribute(cache(), trace)
+        assert result.per_instruction[7].miss_ratio == 0.25
+
+    def test_top(self):
+        trace = make_trace(
+            [0, 64, 128, 0, 64, 128],
+            ref_ids=[0, 1, 2, 0, 1, 2],
+            gaps=[100] * 6,
+        )
+        result = attribute(cache(), trace)
+        top = result.top(2)
+        assert len(top) == 2
+        # 0 and 128 collide (4 sets): those instructions miss twice.
+        assert top[0].misses == 2
+
+    def test_instructions_covering(self):
+        trace = make_trace(
+            # id 0: 4 misses; id 1: 1 miss -> one instruction covers 80%.
+            [0, 512, 1024, 1536, 64],
+            ref_ids=[0, 0, 0, 0, 1],
+            gaps=[100] * 5,
+        )
+        result = attribute(cache(), trace)
+        assert result.instructions_covering(0.8) == 1
+        assert result.instructions_covering(1.0) == 2
+        assert result.concentration(0.8) == 0.5
+
+    def test_covering_validation(self):
+        trace = make_trace([0], ref_ids=[0])
+        result = attribute(cache(), trace)
+        with pytest.raises(TraceError):
+            result.instructions_covering(0)
+
+    def test_empty_concentration(self):
+        result = attribute(cache(), make_trace([], ref_ids=[]))
+        assert result.concentration() == 0.0
+
+    def test_works_with_soft_cache(self, mv_tiny_trace):
+        result = attribute(presets.soft(), mv_tiny_trace)
+        assert result.total_refs == len(mv_tiny_trace)
+        # MV: the A-sweep instruction dominates misses.
+        top = result.top(1)[0]
+        assert top.misses > result.total_misses * 0.4

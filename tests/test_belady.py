@@ -1,0 +1,75 @@
+"""Tests for the Belady (OPT) replacement bound."""
+
+import pytest
+
+from repro.sim import CacheGeometry, MemoryTiming, StandardCache, simulate
+from repro.sim.belady import simulate_belady
+
+from conftest import make_trace
+
+TIMING = MemoryTiming(latency=10, bus_bytes_per_cycle=16)
+GEOMETRY = CacheGeometry(128, 32, 1)  # 4 sets
+FA = CacheGeometry(128, 32, 4)  # fully associative, 4 lines
+
+
+def belady(trace, geometry=GEOMETRY):
+    return simulate_belady(trace, geometry, TIMING)
+
+
+def lru(trace, geometry=GEOMETRY):
+    return simulate(StandardCache(geometry, TIMING), trace)
+
+
+class TestOptimality:
+    def test_classic_lru_pathology(self):
+        # Cyclic sweep over 5 lines through a 4-line fully associative
+        # cache: LRU misses every time, OPT keeps 3 of them resident.
+        addresses = [32 * k for k in range(5)] * 8
+        trace = make_trace(addresses, gaps=[100] * len(addresses))
+        assert belady(trace, FA).misses < lru(trace, FA).misses
+
+    def test_never_more_misses_than_lru(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        addresses = (rng.integers(0, 40, size=400) * 8).tolist()
+        trace = make_trace(addresses, gaps=[50] * 400)
+        for geometry in (GEOMETRY, FA, CacheGeometry(256, 32, 2)):
+            assert belady(trace, geometry).misses <= lru(trace, geometry).misses
+
+    def test_equal_on_compulsory_only(self):
+        addresses = [32 * k for k in range(10)]
+        trace = make_trace(addresses, gaps=[100] * 10)
+        assert belady(trace).misses == lru(trace).misses == 10
+
+    def test_hit_behaviour(self):
+        trace = make_trace([0, 0, 0], gaps=[100] * 3)
+        r = belady(trace)
+        assert r.misses == 1 and r.hits_main == 2
+        assert r.amat == pytest.approx((12 + 1 + 1) / 3)
+
+
+class TestAccounting:
+    def test_conservation_and_traffic(self):
+        trace = make_trace([0, 128, 0, 256, 0], gaps=[100] * 5)
+        r = belady(trace)
+        assert r.refs == r.hits_main + r.misses
+        assert r.words_fetched == 4 * r.lines_fetched
+
+    def test_writebacks(self):
+        # Dirty line evicted by OPT must be written back.
+        trace = make_trace(
+            [0, 128, 256, 384, 512],
+            is_write=[True, False, False, False, False],
+            gaps=[100] * 5,
+        )
+        r = belady(trace)
+        assert r.writebacks >= 1
+
+    def test_empty_trace(self):
+        r = belady(make_trace([]))
+        assert r.refs == 0 and r.cycles == 0
+
+    def test_deterministic(self):
+        trace = make_trace([0, 128, 0, 256, 128, 0], gaps=[40] * 6)
+        assert belady(trace).cycles == belady(trace).cycles

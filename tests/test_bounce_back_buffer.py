@@ -1,0 +1,118 @@
+"""Unit tests for the bounce-back buffer structure."""
+
+import pytest
+
+from repro.core import BounceBackBuffer, make_entry
+from repro.core.bounce_back import ADDR, PREFETCHED
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_negative_lines(self):
+        with pytest.raises(ConfigError):
+            BounceBackBuffer(-1)
+
+    def test_ways_must_divide(self):
+        with pytest.raises(ConfigError):
+            BounceBackBuffer(6, ways=4)
+
+    def test_fully_associative_default(self):
+        b = BounceBackBuffer(8)
+        assert b.n_sets == 1 and b.ways == 8
+
+    def test_set_associative(self):
+        b = BounceBackBuffer(8, ways=4)
+        assert b.n_sets == 2
+
+    def test_ways_capped_at_lines(self):
+        b = BounceBackBuffer(4, ways=16)
+        assert b.ways == 4 and b.n_sets == 1
+
+
+class TestInsertEvict:
+    def test_insert_until_full(self):
+        b = BounceBackBuffer(2)
+        assert b.insert(make_entry(1)) is None
+        assert b.insert(make_entry(2)) is None
+        assert len(b) == 2
+
+    def test_lru_eviction(self):
+        b = BounceBackBuffer(2)
+        b.insert(make_entry(1))
+        b.insert(make_entry(2))
+        evicted = b.insert(make_entry(3))
+        assert evicted[ADDR] == 1
+        assert 1 not in b and 2 in b and 3 in b
+
+    def test_zero_capacity_returns_entry(self):
+        b = BounceBackBuffer(0)
+        e = make_entry(5)
+        assert b.insert(e) is e
+
+    def test_set_associative_eviction_within_set(self):
+        b = BounceBackBuffer(4, ways=2)  # sets by address parity
+        b.insert(make_entry(0))
+        b.insert(make_entry(2))
+        b.insert(make_entry(1))  # odd set, plenty of room
+        evicted = b.insert(make_entry(4))  # even set full: evicts 0
+        assert evicted[ADDR] == 0
+
+
+class TestLookup:
+    def test_find_does_not_reorder(self):
+        b = BounceBackBuffer(2)
+        b.insert(make_entry(1))
+        b.insert(make_entry(2))
+        assert b.find(1)[ADDR] == 1
+        evicted = b.insert(make_entry(3))
+        assert evicted[ADDR] == 1  # find() left 1 at LRU
+
+    def test_find_missing(self):
+        assert BounceBackBuffer(2).find(9) is None
+
+    def test_lookup_remove(self):
+        b = BounceBackBuffer(2)
+        b.insert(make_entry(1))
+        e = b.lookup_remove(1)
+        assert e[ADDR] == 1
+        assert 1 not in b and len(b) == 0
+
+    def test_lookup_remove_missing(self):
+        assert BounceBackBuffer(2).lookup_remove(9) is None
+
+    def test_contains(self):
+        b = BounceBackBuffer(2)
+        b.insert(make_entry(7))
+        assert 7 in b and 8 not in b
+
+
+class TestPrefetched:
+    def test_count(self):
+        b = BounceBackBuffer(4)
+        b.insert(make_entry(1, prefetched=True))
+        b.insert(make_entry(2))
+        b.insert(make_entry(3, prefetched=True))
+        assert b.prefetched_count() == 2
+
+    def test_evict_lru_prefetched(self):
+        b = BounceBackBuffer(4)
+        b.insert(make_entry(1, prefetched=True))
+        b.insert(make_entry(2))
+        b.insert(make_entry(3, prefetched=True))
+        dropped = b.evict_lru_prefetched(0)
+        assert dropped[ADDR] == 1  # the older prefetched entry
+        assert b.prefetched_count() == 1
+        assert 2 in b
+
+    def test_evict_lru_prefetched_none(self):
+        b = BounceBackBuffer(2)
+        b.insert(make_entry(1))
+        assert b.evict_lru_prefetched(0) is None
+
+
+class TestReset:
+    def test_reset(self):
+        b = BounceBackBuffer(2)
+        b.insert(make_entry(1))
+        b.reset()
+        assert len(b) == 0 and 1 not in b

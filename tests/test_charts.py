@@ -1,0 +1,65 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.common import FigureResult
+from repro.harness.charts import _bar, bar_chart
+
+
+class TestBar:
+    def test_full_scale(self):
+        assert _bar(10, 10, 8) == "████████"
+
+    def test_half(self):
+        assert _bar(5, 10, 8) == "████"
+
+    def test_fractional_eighths(self):
+        bar = _bar(1, 16, 8)  # half a character
+        assert bar == "▌"
+
+    def test_zero(self):
+        assert _bar(0, 10, 8) == ""
+
+    def test_zero_scale_safe(self):
+        assert _bar(5, 0, 8) == ""
+
+
+class TestBarChart:
+    def _rows(self):
+        return {
+            "row1": {"a": 4.0, "b": 2.0},
+            "row2": {"a": 1.0},
+        }
+
+    def test_contains_values_and_labels(self):
+        out = bar_chart(["a", "b"], self._rows(), width=8)
+        assert "row1" in out and "row2" in out
+        assert "4.000" in out and "2.000" in out
+
+    def test_scaled_to_max(self):
+        out = bar_chart(["a", "b"], self._rows(), width=8)
+        lines = [l for l in out.splitlines() if "4.000" in l]
+        assert "████████" in lines[0]  # the max fills the width
+
+    def test_missing_cells_skipped(self):
+        out = bar_chart(["a", "b"], self._rows(), width=8)
+        row2_lines = out.split("row2")[1]
+        assert "b" not in row2_lines.replace("b", "b")  # series b absent
+        assert "1.000" in row2_lines
+
+    def test_empty(self):
+        assert bar_chart([], {}, width=8) == ""
+
+
+class TestFigureChart:
+    def test_figure_result_chart(self):
+        r = FigureResult("figX", "title", series=[])
+        r.add("bench", "s1", 3.0)
+        out = r.chart(width=10)
+        assert "figX" in out and "bench" in out and "3.000" in out
+
+    def test_cli_chart_flag(self, capsys):
+        assert main(["run", "fig4b", "--scale", "tiny", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import CONFIGS, main
+
+
+class TestFigures:
+    def test_lists_everything(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out and "fig12" in out
+        assert "related-work" in out
+
+
+class TestRun:
+    def test_single_figure(self, capsys):
+        assert main(["run", "fig4b", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4b" in out and "model" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_multiple_figures(self, capsys):
+        assert main(["run", "fig4a", "fig4b", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a" in out and "fig4b" in out
+
+
+class TestSimulate:
+    def test_single_config(self, capsys):
+        assert main(
+            ["simulate", "--benchmark", "MV", "--config", "soft",
+             "--scale", "tiny"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "AMAT" in out and "soft" in out
+
+    def test_all_configs(self, capsys):
+        assert main(
+            ["simulate", "--benchmark", "LIV", "--scale", "tiny"]
+        ) == 0
+        out = capsys.readouterr().out
+        for config in CONFIGS:
+            assert config in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--benchmark", "nope"])
+
+
+class TestTags:
+    def test_shows_tags(self, capsys):
+        assert main(["tags", "--benchmark", "MV", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "T=1" in out and "S=1" in out and "A(" in out
+
+    def test_scalar_blocks_reported(self, capsys):
+        assert main(["tags", "--benchmark", "MDG", "--scale", "tiny"]) == 0
+        assert "scalar" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_saves_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "mv.npz"
+        assert main(
+            ["trace", "--benchmark", "MV", "--scale", "tiny",
+             "--out", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        from repro.memtrace import load_trace
+
+        assert len(load_trace(out_path)) > 0
+
+
+class TestAttribute:
+    def test_prints_profile(self, capsys):
+        assert main(
+            ["attribute", "--benchmark", "MV", "--scale", "tiny",
+             "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ref_id=" in out and "cover 90%" in out

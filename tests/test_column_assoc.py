@@ -1,0 +1,114 @@
+"""Unit tests for the column-associative cache baseline."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import (
+    CacheGeometry,
+    ColumnAssociativeCache,
+    MemoryTiming,
+    StandardCache,
+    simulate,
+)
+
+from conftest import make_trace
+
+TIMING = MemoryTiming(latency=10, bus_bytes_per_cycle=16)
+PENALTY = 12
+
+
+def make_cache():
+    # 8 sets of 32 B: f2 flips the top index bit (xor 4).
+    return ColumnAssociativeCache(CacheGeometry(256, 32, 1), TIMING)
+
+
+def access(cache, address, now, write=False):
+    return cache.access(address, write, False, False, now)
+
+
+class TestValidation:
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ConfigError):
+            ColumnAssociativeCache(CacheGeometry(256, 32, 2), TIMING)
+
+    def test_requires_two_sets(self):
+        with pytest.raises(ConfigError):
+            ColumnAssociativeCache(CacheGeometry(32, 32, 1), TIMING)
+
+
+class TestBasics:
+    def test_first_probe_hit(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        assert access(c, 0, now=100) == 1
+        assert c.stats.hits_main == 1
+
+    def test_conflicting_pair_coexists(self):
+        # Lines 0 and 256 share set 0; the second rehashes to set 4.
+        c = make_cache()
+        access(c, 0, now=0)
+        access(c, 256, now=100)
+        assert c.contains(0) and c.contains(256)
+
+    def test_second_probe_hit_swaps(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        access(c, 256, now=100)     # 0 rehashed to set 4, 256 primary
+        cycles = access(c, 0, now=200)  # second probe + swap
+        assert cycles == TIMING.assist_hit_time
+        assert c.stats.hits_assist == 1 and c.stats.swaps == 1
+        # After the swap, 0 hits the first probe again.
+        assert access(c, 0, now=300) == 1
+
+    def test_ping_pong_mostly_absorbed(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        access(c, 256, now=100)
+        before = c.stats.misses
+        for k in range(10):
+            access(c, 0 if k % 2 == 0 else 256, now=200 + 100 * k)
+        assert c.stats.misses == before  # swaps, not misses
+
+    def test_rehashed_slot_replaced_in_place(self):
+        c = make_cache()
+        access(c, 128, now=0)      # set 4, first choice
+        access(c, 0, now=100)      # set 0
+        access(c, 256, now=200)    # set 0 conflict: 0 rehashes to set 4
+        # 0's rehash displaced 128.
+        assert not c.contains(128)
+        assert c.contains(0) and c.contains(256)
+
+
+class TestWrites:
+    def test_dirty_rehash_then_eviction(self):
+        c = make_cache()
+        access(c, 0, now=0, write=True)
+        access(c, 256, now=100)    # dirty 0 rehashes (no writeback yet)
+        assert c.stats.writebacks == 0
+        access(c, 512, now=200)    # 256 rehashes, dirty 0 evicted
+        assert c.stats.writebacks == 1
+
+
+class TestAgainstStandard:
+    def test_conflict_stream_beats_direct_mapped(self):
+        # Alternating conflicting lines: column associativity wins big.
+        addresses = [0, 256] * 40
+        trace = make_trace(addresses, gaps=[50] * len(addresses))
+        column = simulate(make_cache(), trace)
+        plain = simulate(
+            StandardCache(CacheGeometry(256, 32, 1), TIMING), trace
+        )
+        assert column.amat < plain.amat / 2
+
+    def test_conservation(self):
+        trace = make_trace([0, 256, 0, 512, 32, 288, 0], gaps=[50] * 7)
+        result = simulate(make_cache(), trace)
+        assert result.refs == (
+            result.hits_main + result.hits_assist + result.misses
+        )
+
+    def test_reset(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        c.reset()
+        assert not c.contains(0) and c.stats.refs == 0

@@ -1,0 +1,132 @@
+"""Tests for SoftCacheConfig validation and the preset factories."""
+
+import pytest
+
+from repro.core import PAPER_SOFT, PAPER_STANDARD, SoftCacheConfig, presets
+from repro.core.software_cache import SoftwareAssistedCache
+from repro.errors import ConfigError
+from repro.sim import BypassCache, MemoryTiming, StandardCache
+
+
+class TestValidation:
+    def test_paper_defaults(self):
+        c = SoftCacheConfig()
+        assert c.size_bytes == 8192
+        assert c.line_size == 32
+        assert c.bounce_back_lines == 8
+        assert c.virtual_line_size == 64
+        assert c.virtual_lines_per_fetch == 2
+
+    def test_virtual_line_must_be_multiple(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(virtual_line_size=48)
+
+    def test_virtual_line_must_be_pow2(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(virtual_line_size=96)
+
+    def test_virtual_line_below_physical_rejected(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(line_size=64, virtual_line_size=32)
+
+    def test_virtual_line_above_cache_rejected(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(size_bytes=128, virtual_line_size=256)
+
+    def test_virtual_line_equal_physical_means_one(self):
+        c = SoftCacheConfig(virtual_line_size=32)
+        assert c.virtual_lines_per_fetch == 1
+
+    def test_disabled_virtual_lines(self):
+        assert SoftCacheConfig(virtual_line_size=None).virtual_lines_per_fetch == 1
+
+    def test_negative_bounce_back_rejected(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(bounce_back_lines=-1)
+
+    def test_bounce_back_ways_divide(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(bounce_back_lines=8, bounce_back_ways=3)
+
+    def test_temporal_priority_needs_temporal(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(use_temporal=False, temporal_priority=True)
+
+    def test_geometry_errors_propagate(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(size_bytes=8000)
+
+
+class TestDeriveAndLabel:
+    def test_derive_changes_one_knob(self):
+        base = SoftCacheConfig()
+        derived = base.derive(virtual_line_size=128)
+        assert derived.virtual_line_size == 128
+        assert derived.bounce_back_lines == base.bounce_back_lines
+
+    def test_label_mentions_mechanisms(self):
+        label = SoftCacheConfig().label()
+        assert "VL64" in label and "BB8" in label
+
+    def test_label_victim_mode(self):
+        label = SoftCacheConfig(use_temporal=False).label()
+        assert "victim8" in label
+
+    def test_paper_constants(self):
+        assert PAPER_SOFT.virtual_line_size == 64
+        assert PAPER_STANDARD.bounce_back_lines == 0
+        assert PAPER_STANDARD.virtual_line_size is None
+
+
+class TestPresets:
+    def test_types(self):
+        assert isinstance(presets.standard(), SoftwareAssistedCache)
+        assert isinstance(presets.standard_cache(), StandardCache)
+        assert isinstance(presets.bypass(), BypassCache)
+        assert isinstance(presets.bypass_buffered(), BypassCache)
+
+    def test_standard_has_no_mechanisms(self):
+        c = presets.standard()
+        assert c.config.bounce_back_lines == 0
+        assert c.config.virtual_line_size is None
+
+    def test_victim_disables_temporal(self):
+        c = presets.victim()
+        assert not c.config.use_temporal
+        assert c.config.bounce_back_lines == 8
+
+    def test_soft_full_mechanism(self):
+        c = presets.soft()
+        assert c.config.use_temporal
+        assert c.config.virtual_line_size == 64
+        assert c.config.bounce_back_lines == 8
+
+    def test_temporal_only(self):
+        c = presets.soft_temporal_only()
+        assert c.config.virtual_line_size is None
+        assert c.config.use_temporal
+
+    def test_spatial_only(self):
+        c = presets.soft_spatial_only()
+        assert c.config.virtual_line_size == 64
+        assert not c.config.use_temporal
+
+    def test_temporal_priority(self):
+        c = presets.temporal_priority()
+        assert c.config.ways == 2
+        assert c.config.temporal_priority
+        assert c.config.bounce_back_lines == 0
+
+    def test_prefetch_presets(self):
+        assert presets.soft_prefetch().config.prefetch == "software"
+        assert presets.standard_prefetch().config.prefetch == "on-miss"
+
+    def test_timing_propagates(self):
+        t = MemoryTiming(latency=5)
+        assert presets.soft(timing=t).timing.latency == 5
+        assert presets.standard(timing=t).timing.latency == 5
+
+    def test_size_overrides(self):
+        c = presets.soft(size_bytes=32 * 1024, line_size=64,
+                         virtual_line_size=128)
+        assert c.geometry.n_sets == 512

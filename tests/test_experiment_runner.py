@@ -1,0 +1,58 @@
+"""Tests for the experiment batch runner and registry plumbing."""
+
+import pytest
+
+from repro.experiments import ALL_FIGURES, EXTENSION_STUDIES
+from repro.experiments.__main__ import main as battery_main
+from repro.workloads import (
+    get_blocked_mm_trace,
+    get_blocked_mv_trace,
+    get_kernel_trace,
+)
+
+
+class TestRegistries:
+    def test_paper_figures_complete(self):
+        # One driver per paper figure: 1a/b, 3a/b, 4a/b, 6a/b, 7a/b,
+        # 8a/b, 9a/b, 10a/b, 11a/b, 12.
+        assert len(ALL_FIGURES) == 19
+
+    def test_no_overlap_between_registries(self):
+        assert not set(ALL_FIGURES) & set(EXTENSION_STUDIES)
+
+    def test_all_drivers_accept_scale(self):
+        import inspect
+
+        for name, driver in {**ALL_FIGURES, **EXTENSION_STUDIES}.items():
+            parameters = inspect.signature(driver).parameters
+            assert "scale" in parameters, name
+
+
+class TestBatteryMain:
+    def test_single_figure(self, capsys):
+        assert battery_main(["tiny", "fig4b"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4b" in out and "[fig4b:" in out
+
+    def test_extension_by_name(self, capsys):
+        assert battery_main(["tiny", "attribution"]) == 0
+        assert "attribution" in capsys.readouterr().out
+
+
+class TestTraceRegistries:
+    def test_kernel_trace_cached(self):
+        a = get_kernel_trace("ADM", "tiny")
+        b = get_kernel_trace("ADM", "tiny")
+        assert a is b
+
+    def test_blocked_traces_cached_by_parameters(self):
+        a = get_blocked_mv_trace(10, "tiny")
+        b = get_blocked_mv_trace(10, "tiny")
+        c = get_blocked_mv_trace(20, "tiny")
+        assert a is b and a is not c
+
+    def test_blocked_mm_copy_flag_distinguished(self):
+        a = get_blocked_mm_trace(116, False, "tiny")
+        b = get_blocked_mm_trace(116, True, "tiny")
+        assert a is not b
+        assert len(b) > len(a)  # the copy phase adds references

@@ -1,0 +1,153 @@
+"""Tests of the per-figure experiment drivers (tiny scale: structure and
+basic sanity; the paper-shape assertions live in test_integration)."""
+
+import math
+
+import pytest
+
+from repro.experiments import ALL_FIGURES
+from repro.experiments import ablations
+from repro.experiments.common import FigureResult
+from repro.experiments.fig01_locality import reuse_distances, vector_lengths
+from repro.experiments.fig03_pollution import bypass_study, victim_study
+from repro.experiments.fig04_instrumentation import (
+    tag_fractions,
+    time_distribution,
+)
+from repro.experiments.fig06_summary import amat_breakdown, hit_repartition
+from repro.experiments.fig08_line_size import physical_sweep, virtual_sweep
+from repro.experiments.fig09_size_assoc import (
+    associativity_study,
+    cache_size_study,
+)
+from repro.experiments.fig10_latency import kernel_study, latency_sweep
+from repro.experiments.fig11_blocking import block_size_sweep, copying_study
+from repro.experiments.fig12_prefetch import prefetch_study
+from repro.workloads import BENCHMARK_ORDER, KERNEL_ORDER
+
+SCALE = "tiny"
+
+
+class TestFigureResult:
+    def test_add_and_lookup(self):
+        r = FigureResult("f", "t", series=[])
+        r.add("row", "s1", 1.0)
+        r.add("row", "s2", 2.0)
+        assert r.series == ["s1", "s2"]
+        assert r.value("row", "s2") == 2.0
+        assert r.row("row") == {"s1": 1.0, "s2": 2.0}
+        assert r.column("s1") == {"row": 1.0}
+
+    def test_table_contains_title(self):
+        r = FigureResult("figX", "a title", series=[])
+        r.add("row", "s", 1.0)
+        assert "figX" in r.table() and "a title" in r.table()
+
+
+class TestDistributionFigures:
+    def test_fig1a_rows_and_sums(self):
+        r = reuse_distances(SCALE)
+        assert set(r.rows) == set(BENCHMARK_ORDER)
+        for bench in BENCHMARK_ORDER:
+            assert math.isclose(sum(r.row(bench).values()), 1.0, abs_tol=1e-9)
+
+    def test_fig1b_rows_and_sums(self):
+        r = vector_lengths(SCALE)
+        for bench in BENCHMARK_ORDER:
+            assert math.isclose(sum(r.row(bench).values()), 1.0, abs_tol=1e-9)
+
+    def test_fig4a_sums(self):
+        r = tag_fractions(SCALE)
+        for bench in BENCHMARK_ORDER:
+            assert math.isclose(sum(r.row(bench).values()), 1.0, abs_tol=1e-9)
+
+    def test_fig4b_matches_model(self):
+        r = time_distribution(SCALE)
+        for row, cells in r.rows.items():
+            assert abs(cells["model"] - cells["generated"]) < 0.02
+
+
+class TestCacheFigures:
+    def test_fig3a_bypass_worst(self):
+        r = bypass_study(SCALE)
+        worse = sum(
+            r.value(b, "Bypass") > r.value(b, "Standard")
+            for b in BENCHMARK_ORDER
+        )
+        assert worse >= 5  # bypassing hurts most benchmarks
+
+    def test_fig3b_complete(self):
+        r = victim_study(SCALE)
+        assert set(r.series) == {"Standard", "Stand.+Victim", "Soft"}
+        assert set(r.rows) == set(BENCHMARK_ORDER)
+
+    def test_fig6a_soft_never_loses_to_standard(self):
+        r = amat_breakdown(SCALE)
+        for bench in BENCHMARK_ORDER:
+            assert r.value(bench, "Soft") <= r.value(bench, "Standard") + 1e-9
+
+    def test_fig6b_fractions_sum(self):
+        r = hit_repartition(SCALE)
+        for bench in BENCHMARK_ORDER:
+            assert math.isclose(sum(r.row(bench).values()), 1.0, abs_tol=1e-9)
+
+    def test_fig8_grids_complete(self):
+        assert len(virtual_sweep(SCALE).series) == 4
+        assert len(physical_sweep(SCALE).series) == 5
+
+    def test_fig9a_has_all_sizes(self):
+        r = cache_size_study(SCALE)
+        assert len(r.series) == 4
+
+    def test_fig9b_simplified_close_to_full(self):
+        r = associativity_study(SCALE)
+        for bench in BENCHMARK_ORDER:
+            full = r.value(bench, "Soft 2-way")
+            simplified = r.value(bench, "Simplified Soft 2-way")
+            assert simplified <= full * 1.15  # "performs nearly as well"
+
+    def test_fig10a_kernel_rows(self):
+        r = kernel_study(SCALE)
+        assert set(r.rows) == set(KERNEL_ORDER)
+
+    def test_fig10b_gain_grows_with_latency(self):
+        r = latency_sweep(SCALE)
+        for bench in BENCHMARK_ORDER:
+            row = r.row(bench)
+            assert row["latency=30"] >= row["latency=5"] - 1e-9
+
+    def test_fig11a_small_blocks(self):
+        r = block_size_sweep(SCALE, block_sizes=(10, 20, 40))
+        assert set(r.rows) == {"B=10", "B=20", "B=40"}
+
+    def test_fig11b_two_dims(self):
+        r = copying_study(SCALE, leading_dims=(116, 120))
+        assert len(r.rows) == 2 and len(r.series) == 4
+
+    def test_fig12_prefetch_helps(self):
+        r = prefetch_study(SCALE)
+        better = sum(
+            r.value(b, "Soft+Prefetch") <= r.value(b, "Soft") + 1e-9
+            for b in BENCHMARK_ORDER
+        )
+        assert better >= 6
+
+
+class TestAblations:
+    def test_all_ablations_run(self):
+        for fn in (
+            ablations.bounce_back_size,
+            ablations.bounce_back_associativity,
+            ablations.admission_policy,
+            ablations.temporal_reset,
+            ablations.physical_line,
+        ):
+            r = fn(SCALE)
+            assert set(r.rows) == set(BENCHMARK_ORDER)
+            assert len(r.series) >= 2
+
+
+class TestRegistryOfFigures:
+    def test_all_figures_registered(self):
+        assert len(ALL_FIGURES) == 19
+        assert set(ALL_FIGURES) >= {"fig1a", "fig6a", "fig9b", "fig12"}

@@ -1,0 +1,66 @@
+"""Tests for cache geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sim import CacheGeometry
+
+
+class TestValidation:
+    def test_paper_standard(self):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        assert g.n_sets == 256
+        assert g.n_lines == 256
+
+    def test_non_pow2_line_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(8192, 48)
+
+    def test_non_pow2_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(8000, 32)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(8192, 32, 0)
+
+    def test_ways_must_divide(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(128, 32, 3)
+
+    def test_fully_associative_single_set(self):
+        g = CacheGeometry(256, 32, 8)
+        assert g.n_sets == 1
+
+
+class TestMapping:
+    def test_line_address(self):
+        g = CacheGeometry(8192, 32)
+        assert g.line_address(0) == 0
+        assert g.line_address(31) == 0
+        assert g.line_address(32) == 1
+
+    def test_set_wraparound(self):
+        g = CacheGeometry(128, 32)  # 4 sets
+        assert g.set_of(0) == g.set_of(128)
+        assert g.set_of(32) == 1
+
+    def test_str(self):
+        assert "direct-mapped" in str(CacheGeometry(8192, 32, 1))
+        assert "2-way" in str(CacheGeometry(8192, 32, 2))
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_same_line_same_set(self, address):
+        g = CacheGeometry(8192, 32, 2)
+        in_line = address - (address % 32)
+        assert g.set_of(address) == g.set_of(in_line)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 30),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_set_index_in_range(self, address, ways):
+        g = CacheGeometry(8192, 32, ways)
+        assert 0 <= g.set_of(address) < g.n_sets

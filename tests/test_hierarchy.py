@@ -1,0 +1,118 @@
+"""Tests for the two-level hierarchy wrapper."""
+
+import pytest
+
+from repro.core import SoftCacheConfig, SoftwareAssistedCache
+from repro.errors import ConfigError
+from repro.sim import (
+    CacheGeometry,
+    MemoryTiming,
+    StandardCache,
+    TwoLevelCache,
+    simulate,
+)
+
+from conftest import make_trace
+
+L1_TIMING = MemoryTiming(latency=4, bus_bytes_per_cycle=16)
+L1_PENALTY = 6   # 4 + 32/16: an L1 miss that hits the L2
+EXTRA = 14       # additional cycles to reach memory
+
+
+def make_hierarchy(l2_sets=8, l2_ways=2, l2_line=32):
+    l1 = StandardCache(CacheGeometry(128, 32, 1), L1_TIMING)
+    l2 = CacheGeometry(l2_sets * l2_ways * l2_line, l2_line, l2_ways)
+    return TwoLevelCache(l1, l2, EXTRA)
+
+
+def access(cache, address, now):
+    return cache.access(address, False, False, False, now)
+
+
+class TestValidation:
+    def test_l1_must_expose_last_fetch(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(ConfigError):
+            TwoLevelCache(Opaque(), CacheGeometry(1024, 32, 2), EXTRA)
+
+    def test_l2_line_not_smaller(self):
+        l1 = StandardCache(CacheGeometry(128, 32, 1), L1_TIMING)
+        with pytest.raises(ConfigError):
+            TwoLevelCache(l1, CacheGeometry(1024, 16, 2), EXTRA)
+
+    def test_negative_extra(self):
+        l1 = StandardCache(CacheGeometry(128, 32, 1), L1_TIMING)
+        with pytest.raises(ConfigError):
+            TwoLevelCache(l1, CacheGeometry(1024, 32, 2), -1)
+
+
+class TestLatencies:
+    def test_cold_miss_pays_memory(self):
+        c = make_hierarchy()
+        assert access(c, 0, now=0) == L1_PENALTY + EXTRA
+        assert c.l2_stats.misses == 1
+
+    def test_l1_hit_is_one_cycle(self):
+        c = make_hierarchy()
+        access(c, 0, now=0)
+        assert access(c, 0, now=100) == 1
+        assert c.l2_stats.refs == 1  # the hit never reached the L2
+
+    def test_l2_hit_pays_only_l1_penalty(self):
+        c = make_hierarchy()
+        access(c, 0, now=0)       # into L1 and L2
+        access(c, 128, now=100)   # evicts 0 from L1 (conflict)
+        assert access(c, 0, now=200) == L1_PENALTY  # L2 still holds it
+        assert c.l2_stats.hits_main == 1
+
+    def test_wider_l2_line_covers_l1_neighbours(self):
+        c = make_hierarchy(l2_line=64)
+        access(c, 0, now=0)        # L2 line covers L1 lines 0 and 1
+        cycles = access(c, 32, now=100)  # L1 miss, L2 hit
+        assert cycles == L1_PENALTY
+
+    def test_l2_capacity_eviction(self):
+        c = make_hierarchy(l2_sets=1, l2_ways=2)
+        access(c, 0, now=0)
+        access(c, 32, now=100)
+        access(c, 64, now=200)     # evicts L2 line 0
+        assert not c.in_l2(0)
+        access(c, 128, now=300)    # push 0 out of L1 as well
+        assert access(c, 0, now=400) == L1_PENALTY + EXTRA
+
+
+class TestWithSoftL1:
+    def test_virtual_line_fetch_through_l2(self):
+        l1 = SoftwareAssistedCache(
+            SoftCacheConfig(
+                size_bytes=128, line_size=32, bounce_back_lines=2,
+                virtual_line_size=64, timing=L1_TIMING,
+            )
+        )
+        c = TwoLevelCache(l1, CacheGeometry(1024, 32, 2), EXTRA)
+        cycles = c.access(0, False, False, True, 0)
+        # Two lines fetched, both missing the L2: one extra latency.
+        assert cycles == L1_TIMING.miss_penalty(2, 32) + EXTRA
+        assert c.l2_stats.misses == 2
+        # Re-fetch after L1 eviction: L2 hits, no memory trip.
+        c.access(128, False, False, False, 1000)
+        c.access(160, False, False, False, 2000)
+        cycles = c.access(0, False, False, True, 3000)
+        assert cycles <= L1_TIMING.miss_penalty(2, 32) + 3
+
+
+class TestDriverIntegration:
+    def test_simulate(self):
+        trace = make_trace([0, 0, 128, 0], gaps=[100] * 4)
+        r = simulate(make_hierarchy(), trace)
+        assert r.refs == 4
+        assert r.cycles == (L1_PENALTY + EXTRA) + 1 + (L1_PENALTY + EXTRA) + L1_PENALTY
+
+    def test_reset(self):
+        c = make_hierarchy()
+        access(c, 0, now=0)
+        c.reset()
+        assert c.l2_stats.refs == 0
+        assert access(c, 0, now=0) == L1_PENALTY + EXTRA

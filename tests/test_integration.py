@@ -1,0 +1,143 @@
+"""End-to-end integration tests: the paper's headline claims at "test"
+scale (big enough for pollution effects, small enough for CI)."""
+
+import pytest
+
+from repro import presets, simulate
+from repro.metrics import geometric_mean, miss_reduction
+from repro.workloads import BENCHMARK_ORDER, get_trace, suite_traces
+
+SCALE = "test"
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return suite_traces(SCALE)
+
+
+@pytest.fixture(scope="module")
+def results(suite):
+    grid = {}
+    for name, trace in suite.items():
+        grid[name] = {
+            "standard": simulate(presets.standard(), trace),
+            "temporal": simulate(presets.soft_temporal_only(), trace),
+            "spatial": simulate(presets.soft_spatial_only(), trace),
+            "soft": simulate(presets.soft(), trace),
+        }
+    return grid
+
+
+class TestSafetyClaim:
+    """Paper: software-assisted data caches perform better than standard
+    caches in any case, so software assistance appears to be safe."""
+
+    def test_soft_amat_never_worse(self, results):
+        for bench, row in results.items():
+            assert row["soft"].amat <= row["standard"].amat * 1.001, bench
+
+    def test_soft_misses_never_worse(self, results):
+        for bench, row in results.items():
+            assert row["soft"].misses <= row["standard"].misses * 1.02, bench
+
+
+class TestHeadlineNumbers:
+    def test_mv_miss_reduction_large(self, results):
+        """The paper reports up to a 62% miss reduction for MV."""
+        row = results["MV"]
+        assert miss_reduction(row["standard"], row["soft"]) > 0.45
+
+    def test_suite_geomean_improvement(self, results):
+        speedups = [
+            row["standard"].amat / row["soft"].amat
+            for row in results.values()
+        ]
+        assert geometric_mean(speedups) > 1.15
+
+    def test_combination_best_on_average(self, results):
+        def geomean_of(config):
+            return geometric_mean(
+                row[config].amat for row in results.values()
+            )
+
+        soft = geomean_of("soft")
+        assert soft <= geomean_of("temporal")
+        assert soft <= geomean_of("spatial")
+        assert soft <= geomean_of("standard")
+
+
+class TestMechanismSignatures:
+    def test_most_hits_stay_in_main_cache(self, results):
+        """Figure 6b: the AMAT gain requires main-cache hits to dominate."""
+        for bench, row in results.items():
+            assert row["soft"].main_hit_fraction > 0.80, bench
+
+    def test_spatial_only_raises_traffic_soft_does_not(self, results):
+        """Figure 7a: virtual lines alone increase traffic; combined with
+        the bounce-back cache the increase (mostly) disappears."""
+        spatial_excess = []
+        soft_excess = []
+        for bench, row in results.items():
+            base = row["standard"].traffic
+            if base == 0:
+                continue
+            spatial_excess.append(row["spatial"].traffic / base)
+            soft_excess.append(row["soft"].traffic / base)
+        assert geometric_mean(soft_excess) <= geometric_mean(spatial_excess)
+
+    def test_temporal_helps_dyf(self, results):
+        """Figure 6a: the bounce-back mechanism alone profits DYF."""
+        row = results["DYF"]
+        assert row["temporal"].amat < row["standard"].amat * 0.95
+
+    def test_spatial_dominates_nas(self, results):
+        """Figure 6a: NAS improvements come from virtual lines."""
+        row = results["NAS"]
+        spatial_gain = row["standard"].amat - row["spatial"].amat
+        temporal_gain = row["standard"].amat - row["temporal"].amat
+        assert spatial_gain > 2 * max(temporal_gain, 0.001)
+
+
+class TestVictimVsBounceBack:
+    def test_victim_cache_insufficient_for_pollution(self, suite):
+        """Figure 3b: the bounce-back cache beats a plain victim cache
+        where pollution (not just interference) is the problem."""
+        trace = suite["MV"]
+        victim = simulate(presets.victim(), trace)
+        soft_temporal = simulate(presets.soft_temporal_only(), trace)
+        assert soft_temporal.amat < victim.amat
+
+
+class TestLatencyDependence:
+    def test_gain_grows_with_latency_on_mv(self):
+        from repro.sim import MemoryTiming
+
+        trace = get_trace("MV", SCALE)
+        gains = []
+        for latency in (5, 20, 30):
+            timing = MemoryTiming(latency=latency)
+            base = simulate(presets.standard(timing=timing), trace)
+            soft = simulate(presets.soft(timing=timing), trace)
+            gains.append(base.amat - soft.amat)
+        assert gains[0] < gains[1] < gains[2]
+
+
+class TestBlocking:
+    def test_soft_tolerates_larger_blocks(self):
+        """Figure 11a: software assistance flattens the block-size curve."""
+        from repro.workloads import get_blocked_mv_trace
+
+        small, large = 20, 300
+        std_small = simulate(
+            presets.standard(), get_blocked_mv_trace(small, SCALE)
+        ).amat
+        std_large = simulate(
+            presets.standard(), get_blocked_mv_trace(large, SCALE)
+        ).amat
+        soft_large = simulate(
+            presets.soft(), get_blocked_mv_trace(large, SCALE)
+        ).amat
+        # The standard cache degrades at the large block; Soft holds up.
+        degradation_std = std_large / std_small
+        assert soft_large < std_large
+        assert soft_large / std_small < degradation_std

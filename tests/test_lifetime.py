@@ -1,0 +1,60 @@
+"""Tests for the cache-line lifetime analysis."""
+
+import pytest
+
+from repro.memtrace.lifetime import lifetime_profile, line_lifetimes
+from repro.sim import CacheGeometry
+
+from conftest import make_trace
+
+TINY = CacheGeometry(128, 32, 1)  # 4 sets
+
+
+class TestLineLifetimes:
+    def test_no_evictions(self):
+        t = make_trace([0, 32, 64, 96])
+        assert line_lifetimes(t, TINY) == []
+
+    def test_conflict_eviction_lifetime(self):
+        # Line 0 filled at ref 0, evicted by 128 at ref 3.
+        t = make_trace([0, 32, 64, 128])
+        assert line_lifetimes(t, TINY) == [3]
+
+    def test_touch_extends_nothing_but_lru(self):
+        # Lifetime is fill-to-eviction regardless of touches in between.
+        t = make_trace([0, 0, 0, 128])
+        assert line_lifetimes(t, TINY) == [3]
+
+    def test_set_associative(self):
+        fa = CacheGeometry(64, 32, 2)  # one set, two ways
+        t = make_trace([0, 32, 64])  # 64 evicts LRU line 0 at ref 2
+        assert line_lifetimes(t, fa) == [2]
+
+    def test_multiple_generations(self):
+        t = make_trace([0, 128, 0, 128])
+        # 0 evicted at ref 1 (lifetime 1), 128 at ref 2 (1), 0 at ref 3 (1).
+        assert line_lifetimes(t, TINY) == [1, 1, 1]
+
+
+class TestProfile:
+    def test_summary(self):
+        t = make_trace([0, 128, 0, 128, 0])
+        p = lifetime_profile(t, TINY)
+        assert p.evictions == 4
+        assert p.mean == 1.0
+        assert p.median == 1.0
+
+    def test_empty(self):
+        p = lifetime_profile(make_trace([]), TINY)
+        assert p.evictions == 0 and p.mean == 0.0
+
+    def test_paper_estimate_order_of_magnitude(self):
+        # The paper: ~2500 references for an 8 KB cache.  Our suite's
+        # pooled mean lifetime must sit in the same decade.
+        from repro.workloads import suite_traces
+
+        pooled = []
+        for trace in suite_traces("test").values():
+            pooled.extend(line_lifetimes(trace))
+        mean = sum(pooled) / len(pooled)
+        assert 250 < mean < 25_000

@@ -1,0 +1,290 @@
+"""Tests of the section 2.3 locality analysis — including the paper's own
+figure 5 example as ground truth."""
+
+import pytest
+
+from repro.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    Program,
+    analyze_nest,
+    analyze_program,
+    linearize,
+    nest,
+    var,
+)
+from repro.compiler.locality import NestTags
+from repro.errors import CompilerError
+
+i, j, k = var("i"), var("j"), var("k")
+
+
+def tags_of(loop_nest, arrays):
+    arrays = {a.name: a for a in arrays}
+    return analyze_nest(loop_nest, arrays)
+
+
+class TestLinearize:
+    def test_column_major(self):
+        a = Array("A", (10, 5))
+        offset = linearize(ArrayRef("A", (i, j)), a)
+        assert offset.coefficient("i") == 1
+        assert offset.coefficient("j") == 10
+
+    def test_constant_folded(self):
+        a = Array("A", (10, 5))
+        offset = linearize(ArrayRef("A", (i + 2, j + 1)), a)
+        assert offset.const == 12
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(CompilerError):
+            linearize(ArrayRef("A", (i,)), Array("A", (4, 4)))
+
+    def test_indirect_rejected(self):
+        with pytest.raises(CompilerError):
+            linearize(ArrayRef("A", (i,), indirect=(0,)), Array("A", (4,)))
+
+
+class TestFigure5GroundTruth:
+    """The paper's instrumented loop (figure 5) with its published tags."""
+
+    def test_exact_tags(self, fig5_program):
+        loop = fig5_program.items[0]
+        tags = analyze_nest(loop, fig5_program.arrays)
+        got = [(t.temporal, t.spatial) for t in tags.body]
+        assert got == [
+            (False, False),  # A(I,J): stride N, touched once
+            (True, False),   # B(J,I): group follower
+            (True, True),    # B(J,I+1): group leader
+            (True, True),    # X(J): invariant in I
+            (True, True),    # Y(I) read
+            (True, True),    # Y(I) write
+        ]
+
+
+class TestSpatialRule:
+    def _tags(self, subscript, shape=(64, 64)):
+        a = Array("A", shape)
+        loop = nest([Loop("i", 0, 8), Loop("j", 0, 8)], [ArrayRef("A", subscript)])
+        return tags_of(loop, [a]).body[0]
+
+    def test_stride_one_spatial(self):
+        assert self._tags((j, i)).spatial
+
+    def test_stride_three_spatial(self):
+        assert self._tags((j * 3, i)).spatial
+
+    def test_stride_four_not_spatial(self):
+        assert not self._tags((j * 4, i)).spatial
+
+    def test_leading_dimension_stride_not_spatial(self):
+        assert not self._tags((i, j)).spatial
+
+    def test_stride_zero_spatial(self):
+        # Y(I) in figure 5: invariant in the innermost loop still gets
+        # the spatial tag (coefficient 0 < 4).
+        assert self._tags((i, 0)).spatial
+
+    def test_loop_step_scales_stride(self):
+        a = Array("A", (64,))
+        loop = nest([Loop("i", 0, 64, step=4)], [ArrayRef("A", (i,))])
+        assert not tags_of(loop, [a]).body[0].spatial
+
+    def test_parametric_stride_never_spatial(self):
+        a = Array("A", (64, 64))
+        loop = nest(
+            [Loop("i", 0, 8), Loop("j", 0, 8)],
+            [ArrayRef("A", (j, i), parametric_stride=True)],
+        )
+        assert not tags_of(loop, [a]).body[0].spatial
+
+    def test_custom_threshold(self):
+        a = Array("A", (64, 64))
+        loop = nest(
+            [Loop("i", 0, 8), Loop("j", 0, 8)], [ArrayRef("A", (j * 4, i))]
+        )
+        wide = analyze_nest(loop, {"A": a}, spatial_threshold=8)
+        assert wide.body[0].spatial
+
+
+class TestTemporalRule:
+    def test_invariant_loop_gives_temporal(self):
+        a = Array("X", (64,))
+        loop = nest([Loop("i", 0, 8), Loop("j", 0, 8)], [ArrayRef("X", (j,))])
+        assert tags_of(loop, [a]).body[0].temporal
+
+    def test_single_trip_loop_gives_no_reuse(self):
+        a = Array("X", (64,))
+        loop = nest([Loop("i", 0, 1), Loop("j", 0, 8)], [ArrayRef("X", (j,))])
+        assert not tags_of(loop, [a]).body[0].temporal
+
+    def test_opaque_loop_hides_reuse(self):
+        a = Array("X", (64,))
+        loop = nest(
+            [Loop("i", 0, 8, opaque=True), Loop("j", 0, 8)],
+            [ArrayRef("X", (j,))],
+        )
+        assert not tags_of(loop, [a]).body[0].temporal
+
+    def test_group_dependence_both_temporal(self):
+        a = Array("B", (64, 64))
+        loop = nest(
+            [Loop("i", 0, 8), Loop("j", 0, 8)],
+            [ArrayRef("B", (j, i)), ArrayRef("B", (j, i + 1))],
+        )
+        tags = tags_of(loop, [a]).body
+        assert tags[0].temporal and tags[1].temporal
+
+    def test_non_uniform_group_not_detected(self):
+        # A(I,J) vs A(J,I): non-uniformly generated — the paper's simple
+        # analysis cannot see it.
+        a = Array("A", (8, 8))
+        loop = nest(
+            [Loop("i", 0, 8), Loop("j", 0, 8)],
+            [ArrayRef("A", (i, j)), ArrayRef("A", (j, i))],
+        )
+        tags = tags_of(loop, [a]).body
+        assert not tags[0].temporal and not tags[1].temporal
+
+    def test_read_write_pair_temporal(self):
+        a = Array("V", (64,))
+        loop = nest(
+            [Loop("j", 0, 8)],
+            [ArrayRef("V", (j,)), ArrayRef("V", (j,), is_write=True)],
+        )
+        tags = tags_of(loop, [a]).body
+        assert tags[0].temporal and tags[1].temporal
+
+
+class TestGroupLeaderRule:
+    def test_follower_loses_spatial(self):
+        b = Array("B", (8, 9))
+        loop = nest(
+            [Loop("i", 0, 8), Loop("j", 0, 8)],
+            [ArrayRef("B", (j, i)), ArrayRef("B", (j, i + 1))],
+        )
+        tags = tags_of(loop, [b]).body
+        assert not tags[0].spatial  # B(J,I) follows B(J,I+1)
+        assert tags[1].spatial
+
+    def test_same_offset_group_keeps_spatial(self):
+        # Read/write pair at identical offsets: no leader/follower split.
+        v = Array("V", (64,))
+        loop = nest(
+            [Loop("j", 0, 8)],
+            [ArrayRef("V", (j,)), ArrayRef("V", (j,), is_write=True)],
+        )
+        tags = tags_of(loop, [v]).body
+        assert tags[0].spatial and tags[1].spatial
+
+    def test_three_member_group_single_leader(self):
+        u = Array("U", (16, 18))
+        loop = nest(
+            [Loop("j", 0, 8), Loop("i", 1, 15)],
+            [
+                ArrayRef("U", (i - 1, j)),
+                ArrayRef("U", (i, j)),
+                ArrayRef("U", (i + 1, j)),
+            ],
+        )
+        tags = tags_of(loop, [u]).body
+        assert [t.spatial for t in tags] == [False, False, True]
+        assert all(t.temporal for t in tags)
+
+
+class TestCallAndIndirect:
+    def test_call_clears_all_tags(self):
+        x = Array("X", (64,))
+        loop = nest(
+            [Loop("i", 0, 8), Loop("j", 0, 8)],
+            [ArrayRef("X", (j,))],
+            has_call=True,
+        )
+        t = tags_of(loop, [x]).body[0]
+        assert not t.temporal and not t.spatial
+
+    def test_indirect_untagged(self):
+        x = Array("X", (64,))
+        loop = nest(
+            [Loop("j", 0, 8)],
+            [ArrayRef("X", (j,), indirect=tuple(range(8)))],
+        )
+        t = tags_of(loop, [x]).body[0]
+        assert not t.temporal and not t.spatial
+
+    def test_directive_overrides_indirect(self):
+        x = Array("X", (64,))
+        loop = nest(
+            [Loop("j", 0, 8)],
+            [ArrayRef("X", (j,), indirect=tuple(range(8)), temporal=True)],
+        )
+        assert tags_of(loop, [x]).body[0].temporal
+
+    def test_directive_overrides_call(self):
+        x = Array("X", (64,))
+        loop = nest(
+            [Loop("j", 0, 8)],
+            [ArrayRef("X", (j,), temporal=True, spatial=False)],
+            has_call=True,
+        )
+        t = tags_of(loop, [x]).body[0]
+        assert t.temporal and not t.spatial
+
+    def test_directive_can_clear(self):
+        x = Array("X", (64,))
+        loop = nest(
+            [Loop("i", 0, 8), Loop("j", 0, 8)],
+            [ArrayRef("X", (j,), temporal=False)],
+        )
+        assert not tags_of(loop, [x]).body[0].temporal
+
+
+class TestPrePostAnalysis:
+    def _mv(self):
+        arrays = [Array("Y", (8,)), Array("A", (8, 8)), Array("X", (8,))]
+        loop = nest(
+            [Loop("j1", 0, 8), Loop("j2", 0, 8)],
+            body=[ArrayRef("A", (var("j2"), var("j1"))), ArrayRef("X", (var("j2"),))],
+            pre=[ArrayRef("Y", (var("j1"),))],
+            post=[ArrayRef("Y", (var("j1"),), is_write=True)],
+        )
+        return loop, arrays
+
+    def test_pre_post_tagged_at_outer_level(self):
+        loop, arrays = self._mv()
+        tags = tags_of(loop, arrays)
+        # Y(j1): stride 1 in the outer loop -> spatial; read/write group
+        # -> temporal.
+        assert tags.pre[0].temporal and tags.pre[0].spatial
+        assert tags.post[0].temporal and tags.post[0].spatial
+
+    def test_single_loop_pre_untagged(self):
+        arrays = [Array("S", (4,)), Array("A", (8,))]
+        loop = nest(
+            [Loop("j", 0, 8)],
+            body=[ArrayRef("A", (j,))],
+            pre=[ArrayRef("S", (0,))],
+        )
+        t = tags_of(loop, arrays).pre[0]
+        assert not t.temporal and not t.spatial
+
+    def test_all_property_matches_shape(self):
+        loop, arrays = self._mv()
+        tags = tags_of(loop, arrays)
+        assert isinstance(tags, NestTags)
+        assert len(tags.all) == len(loop.all_refs)
+
+
+class TestAnalyzeProgram:
+    def test_scalar_blocks_skipped(self, fig5_program):
+        from repro.compiler import ScalarBlock
+
+        block = ScalarBlock((1 << 22,), count=5)
+        program = Program(
+            "p", list(fig5_program.arrays.values()),
+            list(fig5_program.items) + [block],
+        )
+        result = analyze_program(program)
+        assert 0 in result
+        assert 1 not in result

@@ -1,0 +1,201 @@
+"""Unit tests for the loop-nest IR (loops, arrays, references, programs)."""
+
+import pytest
+
+from repro.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Program,
+    ScalarBlock,
+    nest,
+    var,
+)
+from repro.errors import CompilerError
+
+i, j, k = var("i"), var("j"), var("k")
+
+
+class TestLoop:
+    def test_trip_count(self):
+        assert Loop("i", 0, 10).trip_count == 10
+        assert Loop("i", 3, 10).trip_count == 7
+        assert Loop("i", 0, 10, step=3).trip_count == 4
+
+    def test_empty_loop(self):
+        assert Loop("i", 5, 5).trip_count == 0
+
+    def test_values_order(self):
+        assert Loop("i", 1, 8, step=3).values().tolist() == [1, 4, 7]
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(CompilerError):
+            Loop("i", 0, 10, step=-1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(CompilerError):
+            Loop("i", 10, 0)
+
+    def test_opaque_flag_defaults_false(self):
+        assert not Loop("i", 0, 4).opaque
+        assert Loop("i", 0, 4, opaque=True).opaque
+
+
+class TestArray:
+    def test_column_major_strides(self):
+        assert Array("A", (4, 5, 6)).strides() == (1, 4, 20)
+
+    def test_sizes(self):
+        a = Array("A", (10, 3))
+        assert a.elements == 30
+        assert a.size_bytes == 240
+
+    def test_element_size(self):
+        assert Array("A", (8,), element_size=4).size_bytes == 32
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(CompilerError):
+            Array("A", ())
+        with pytest.raises(CompilerError):
+            Array("A", (0, 4))
+
+    def test_bad_element_size_rejected(self):
+        with pytest.raises(CompilerError):
+            Array("A", (4,), element_size=0)
+
+
+class TestArrayRef:
+    def test_int_subscripts_coerced(self):
+        ref = ArrayRef("A", (0, 3))
+        assert ref.subscripts[0].is_constant()
+        assert ref.subscripts[1].const == 3
+
+    def test_no_subscripts_rejected(self):
+        with pytest.raises(CompilerError):
+            ArrayRef("A", ())
+
+    def test_indirect_requires_single_subscript(self):
+        with pytest.raises(CompilerError):
+            ArrayRef("A", (i, j), indirect=(0, 1))
+
+    def test_indirect_table(self):
+        ref = ArrayRef("A", (i,), indirect=(4, 2, 0))
+        assert ref.indirect_table().tolist() == [4, 2, 0]
+
+    def test_indirect_table_on_direct_ref_raises(self):
+        with pytest.raises(CompilerError):
+            ArrayRef("A", (i,)).indirect_table()
+
+
+class TestLoopNest:
+    def test_counts(self):
+        n = nest(
+            [Loop("i", 0, 3), Loop("j", 0, 4)],
+            body=[ArrayRef("A", (j, i)), ArrayRef("A", (j, i))],
+            pre=[ArrayRef("Y", (i,))],
+            post=[ArrayRef("Y", (i,), is_write=True)],
+        )
+        assert n.iterations == 12
+        assert n.outer_iterations == 3
+        assert n.references == 12 * 2 + 3 * 2
+
+    def test_all_refs_order(self):
+        pre = ArrayRef("Y", (i,))
+        body = ArrayRef("A", (j, i))
+        post = ArrayRef("Y", (i,), is_write=True)
+        n = nest([Loop("i", 0, 2), Loop("j", 0, 2)], [body], [pre], [post])
+        assert n.all_refs == (pre, body, post)
+
+    def test_needs_loops_and_body(self):
+        with pytest.raises(CompilerError):
+            LoopNest((), (ArrayRef("A", (i,)),))
+        with pytest.raises(CompilerError):
+            nest([Loop("i", 0, 2)], [])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(CompilerError):
+            nest([Loop("i", 0, 2), Loop("i", 0, 2)], [ArrayRef("A", (i,))])
+
+    def test_pre_post_cannot_use_innermost_index(self):
+        with pytest.raises(CompilerError):
+            nest(
+                [Loop("i", 0, 2), Loop("j", 0, 2)],
+                body=[ArrayRef("A", (j, i))],
+                pre=[ArrayRef("Y", (j,))],
+            )
+
+    def test_innermost_and_outer(self):
+        n = nest([Loop("i", 0, 2), Loop("j", 0, 3)], [ArrayRef("A", (j, i))])
+        assert n.innermost.index == "j"
+        assert [l.index for l in n.outer_loops] == ["i"]
+
+
+class TestScalarBlock:
+    def test_validation(self):
+        with pytest.raises(CompilerError):
+            ScalarBlock((), count=4)
+        with pytest.raises(CompilerError):
+            ScalarBlock((0,), count=-1)
+
+
+class TestProgram:
+    def _program(self, align=32):
+        arrays = [Array("A", (4, 4)), Array("B", (10,))]
+        body = nest([Loop("i", 0, 4), Loop("j", 0, 4)], [ArrayRef("A", (j, i))])
+        return Program("p", arrays, [body], align=align)
+
+    def test_layout_contiguous_and_aligned(self):
+        p = self._program(align=32)
+        bases = p.layout()
+        assert bases["A"] == 0
+        # A is 128 bytes; B starts at the next 32-byte boundary.
+        assert bases["B"] == 128
+        assert bases["B"] % 32 == 0
+
+    def test_layout_alignment_pads(self):
+        arrays = [Array("A", (3,)), Array("B", (4,))]  # A = 24 bytes
+        body = nest([Loop("i", 0, 3)], [ArrayRef("A", (i,))])
+        p = Program("p", arrays, [body], align=32)
+        assert p.layout()["B"] == 32
+
+    def test_layout_cached(self):
+        p = self._program()
+        assert p.layout() is p.layout()
+
+    def test_undeclared_array_rejected(self):
+        arrays = [Array("A", (4,))]
+        body = nest([Loop("i", 0, 4)], [ArrayRef("Missing", (i,))])
+        with pytest.raises(CompilerError):
+            Program("p", arrays, [body])
+
+    def test_undeclared_pre_ref_rejected(self):
+        arrays = [Array("A", (4, 4))]
+        body = nest(
+            [Loop("i", 0, 4), Loop("j", 0, 4)],
+            [ArrayRef("A", (j, i))],
+            pre=[ArrayRef("Missing", (i,))],
+        )
+        with pytest.raises(CompilerError):
+            Program("p", arrays, [body])
+
+    def test_duplicate_array_rejected(self):
+        with pytest.raises(CompilerError):
+            Program(
+                "p",
+                [Array("A", (4,)), Array("A", (4,))],
+                [nest([Loop("i", 0, 4)], [ArrayRef("A", (i,))])],
+            )
+
+    def test_bad_repeat_rejected(self):
+        with pytest.raises(CompilerError):
+            Program("p", [Array("A", (4,))],
+                    [nest([Loop("i", 0, 4)], [ArrayRef("A", (i,))])],
+                    repeat=0)
+
+    def test_reference_count_includes_blocks(self):
+        arrays = [Array("A", (4,))]
+        body = nest([Loop("i", 0, 4)], [ArrayRef("A", (i,))])
+        block = ScalarBlock((1 << 20,), count=7)
+        p = Program("p", arrays, [body, block])
+        assert p.references == 4 + 7

@@ -1,0 +1,70 @@
+"""Tests for cross-benchmark metric aggregation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    amat_improvement,
+    geometric_mean,
+    miss_reduction,
+    suite_summary,
+    traffic_ratio,
+)
+from repro.sim import SimResult
+
+
+def result(cycles=300, misses=20, words=100):
+    return SimResult(
+        cache="c", trace="t", refs=100, cycles=cycles,
+        hits_main=100 - misses, misses=misses, words_fetched=words,
+    )
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestComparisons:
+    def test_amat_improvement(self):
+        assert amat_improvement(result(400), result(300)) == pytest.approx(0.25)
+
+    def test_miss_reduction(self):
+        assert miss_reduction(result(misses=40), result(misses=10)) == 0.75
+
+    def test_miss_reduction_zero_base(self):
+        assert miss_reduction(result(misses=0), result(misses=0)) == 0.0
+
+    def test_traffic_ratio(self):
+        assert traffic_ratio(result(words=100), result(words=150)) == 1.5
+
+    def test_traffic_ratio_zero_base_rejected(self):
+        with pytest.raises(ConfigError):
+            traffic_ratio(result(words=0), result(words=10))
+
+
+class TestSuiteSummary:
+    def test_summary_rows(self):
+        grid = {
+            "b1": {"base": result(400, 40), "soft": result(200, 10)},
+            "b2": {"base": result(300, 30), "soft": result(300, 30)},
+        }
+        summary = suite_summary(grid, "base", "soft")
+        assert summary["b1"]["amat_improvement"] == pytest.approx(0.5)
+        assert summary["b2"]["amat_improvement"] == 0.0
+        assert "geomean" in summary
+        assert 0 < summary["geomean"]["amat_improvement"] < 0.5
+        assert math.isnan(summary["geomean"]["miss_reduction"])

@@ -1,0 +1,124 @@
+"""Tests of the prefetching extension (section 4.4).
+
+Same geometry as test_software_cache: 128 B main / 4 sets / 32 B lines;
+latency 10, 2-cycle line transfer.
+"""
+
+import pytest
+
+from repro.core import SoftCacheConfig, SoftwareAssistedCache
+from repro.errors import ConfigError
+from repro.sim import MemoryTiming
+
+TIMING = MemoryTiming(latency=10, bus_bytes_per_cycle=16)
+
+
+def make_cache(mode="software", **overrides):
+    config = dict(
+        size_bytes=128,
+        line_size=32,
+        ways=1,
+        bounce_back_lines=4,
+        virtual_line_size=64,
+        prefetch=mode,
+        max_prefetched=2,
+        timing=TIMING,
+    )
+    config.update(overrides)
+    return SoftwareAssistedCache(SoftCacheConfig(**config))
+
+
+def access(cache, address, write=False, temporal=False, spatial=False, now=0):
+    return cache.access(address, write, temporal, spatial, now)
+
+
+class TestSoftwareMode:
+    def test_spatial_miss_prefetches_next_line(self):
+        c = make_cache()
+        access(c, 0, spatial=True, now=0)   # VL {0,32} + prefetch line 64
+        assert c.stats.prefetches_issued == 1
+        assert c.in_assist(64)
+        assert not c.in_main(64)
+
+    def test_non_spatial_miss_does_not_prefetch(self):
+        c = make_cache()
+        access(c, 0, spatial=False, now=0)
+        assert c.stats.prefetches_issued == 0
+
+    def test_prefetch_traffic_counted(self):
+        c = make_cache()
+        access(c, 0, spatial=True, now=0)
+        assert c.stats.words_fetched == 8 + 4  # VL + prefetched line
+
+    def test_progressive_chain(self):
+        c = make_cache()
+        access(c, 0, spatial=True, now=0)      # prefetch 64
+        cycles = access(c, 64, spatial=True, now=1000)
+        assert c.stats.prefetch_hits == 1
+        assert cycles == TIMING.assist_hit_time  # arrived long ago
+        assert c.in_main(64)
+        assert c.in_assist(96)                  # the chain continues
+
+    def test_in_flight_prefetch_waits(self):
+        c = make_cache()
+        access(c, 0, spatial=True, now=0)
+        # The prefetch arrives ~2 cycles after the demand miss completes.
+        cycles = access(c, 64, spatial=True, now=14)
+        assert cycles > TIMING.assist_hit_time
+
+    def test_max_prefetched_cap(self):
+        c = make_cache(max_prefetched=2)
+        access(c, 0, spatial=True, now=0)        # prefetch 64
+        access(c, 256, spatial=True, now=100)    # prefetch 320 (line 10)
+        access(c, 512, spatial=True, now=200)    # would exceed the cap
+        assert c.bounce_back.prefetched_count() <= 2
+
+    def test_prefetch_skips_cached_lines(self):
+        c = make_cache()
+        access(c, 64, now=0)                   # line 2 already in main
+        access(c, 0, spatial=True, now=100)    # would prefetch line 2
+        assert c.stats.prefetches_issued == 0
+
+
+class TestOnMissMode:
+    def test_prefetches_on_any_miss(self):
+        c = make_cache(mode="on-miss", virtual_line_size=None,
+                       use_temporal=False)
+        access(c, 0, spatial=False, now=0)
+        assert c.stats.prefetches_issued == 1
+        assert c.in_assist(32)
+
+    def test_bus_contention_stacks_prefetch_arrivals(self):
+        from repro.core.bounce_back import ARRIVAL
+
+        c = make_cache(mode="on-miss", virtual_line_size=None,
+                       use_temporal=False)
+        access(c, 0, now=0)     # miss until 12; prefetch of line 1 at 14
+        access(c, 256, now=12)  # miss holds the bus until 24
+        # The second prefetch (line 9) cannot start its transfer before
+        # the demand fetch releases the bus: arrival 26, not 24.
+        entry = c.bounce_back.find(288 // 32)
+        assert entry is not None
+        assert entry[ARRIVAL] == 26
+
+
+class TestOffMode:
+    def test_no_prefetches(self):
+        c = make_cache(mode="off")
+        access(c, 0, spatial=True, now=0)
+        assert c.stats.prefetches_issued == 0
+
+
+class TestConfigGuards:
+    def test_prefetch_requires_buffer(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(bounce_back_lines=0, virtual_line_size=None,
+                            use_temporal=False, prefetch="software")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(prefetch="aggressive")
+
+    def test_max_prefetched_positive(self):
+        with pytest.raises(ConfigError):
+            SoftCacheConfig(max_prefetched=0)

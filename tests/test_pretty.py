@@ -1,0 +1,99 @@
+"""Tests for the Fortran-style pretty-printer."""
+
+import pytest
+
+from repro.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    Program,
+    ScalarBlock,
+    analyze_nest,
+    analyze_program,
+    format_nest,
+    format_program,
+    format_ref,
+    nest,
+    var,
+)
+
+i, j = var("i"), var("j")
+
+
+def mv_nest():
+    return nest(
+        [Loop("j1", 0, 4), Loop("j2", 0, 8)],
+        body=[ArrayRef("A", (var("j2"), var("j1"))), ArrayRef("X", (var("j2"),))],
+        pre=[ArrayRef("Y", (var("j1"),))],
+        post=[ArrayRef("Y", (var("j1"),), is_write=True)],
+        name="mv",
+    )
+
+
+class TestFormatRef:
+    def test_direct(self):
+        assert format_ref(ArrayRef("A", (i, j + 1))) == "A(i,1 + j)"
+
+    def test_indirect(self):
+        ref = ArrayRef("X", (i,), indirect=(0, 1))
+        assert format_ref(ref) == "X(tbl[i])"
+
+
+class TestFormatNest:
+    def test_loop_structure(self):
+        out = format_nest(mv_nest())
+        assert "DO j1 = 0,3" in out
+        assert "DO j2 = 0,7" in out
+        assert out.count("ENDDO") == 2
+
+    def test_pre_post_positions(self):
+        lines = format_nest(mv_nest()).splitlines()
+        body_do = next(k for k, l in enumerate(lines) if "DO j2" in l)
+        assert "load  Y(j1)" in lines[body_do - 1]
+        assert "store Y(j1)" in lines[-2]
+
+    def test_tags_rendered(self):
+        loop = mv_nest()
+        arrays = {
+            "A": Array("A", (8, 4)), "X": Array("X", (8,)),
+            "Y": Array("Y", (4,)),
+        }
+        out = format_nest(loop, analyze_nest(loop, arrays))
+        assert "! T=0 S=1" in out  # A(j2,j1)
+        assert "! T=1 S=1" in out  # X(j2)
+
+    def test_call_marker(self):
+        loop = nest(
+            [Loop("i", 0, 4)], [ArrayRef("X", (i,))], has_call=True
+        )
+        assert "CALL" in format_nest(loop)
+
+    def test_opaque_marker(self):
+        loop = nest(
+            [Loop("t", 0, 4, opaque=True), Loop("i", 0, 4)],
+            [ArrayRef("X", (i,))],
+        )
+        assert "opaque" in format_nest(loop)
+
+    def test_step_rendered(self):
+        loop = nest([Loop("i", 0, 16, step=4)], [ArrayRef("X", (i,))])
+        assert "DO i = 0,15,4" in format_nest(loop)
+
+    def test_aliases_rendered(self):
+        loop = nest(
+            [Loop("k", 0, 4)],
+            [ArrayRef("X", (var("kk"),))],
+            aliases={"kk": var("k") * 2},
+        )
+        assert "aliases: kk = 2*k" in format_nest(loop)
+
+
+class TestFormatProgram:
+    def test_includes_scalar_blocks(self):
+        arrays = [Array("X", (8,))]
+        loop = nest([Loop("i", 0, 8)], [ArrayRef("X", (i,))], name="sweep")
+        block = ScalarBlock((1 << 20,), count=42, name="scalars")
+        program = Program("p", arrays, [loop, block])
+        out = format_program(program, analyze_program(program))
+        assert "nest sweep" in out
+        assert "42 untagged scalar references" in out

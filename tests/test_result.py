@@ -1,0 +1,79 @@
+"""Tests for simulation result records and derived metrics."""
+
+import pytest
+
+from repro.sim import SimResult
+
+
+def result(**kwargs):
+    base = dict(refs=100, cycles=300, hits_main=70, hits_assist=10, misses=20)
+    base.update(kwargs)
+    return SimResult(cache="c", trace="t", **base)
+
+
+class TestDerivedMetrics:
+    def test_amat(self):
+        assert result().amat == 3.0
+
+    def test_miss_and_hit_ratio(self):
+        r = result()
+        assert r.miss_ratio == 0.2
+        assert r.hit_ratio == 0.8
+
+    def test_traffic(self):
+        r = result(words_fetched=80)
+        assert r.traffic == 0.8
+
+    def test_hit_repartition(self):
+        r = result()
+        assert r.main_hit_fraction == pytest.approx(70 / 80)
+        assert r.assist_hit_fraction == pytest.approx(10 / 80)
+
+    def test_empty_result_safe(self):
+        r = SimResult()
+        assert r.amat == 0.0 and r.miss_ratio == 0.0 and r.traffic == 0.0
+        assert r.main_hit_fraction == 0.0
+
+
+class TestComparisons:
+    def test_misses_removed(self):
+        base = result(misses=40)
+        better = result(misses=10)
+        assert better.misses_removed_vs(base) == 75.0
+
+    def test_misses_removed_zero_base(self):
+        assert result().misses_removed_vs(result(misses=0)) == 0.0
+
+    def test_amat_gain(self):
+        base = result(cycles=500)
+        faster = result(cycles=300)
+        assert faster.amat_gain_vs(base) == pytest.approx(2.0)
+
+
+class TestConsistency:
+    def test_check_passes_on_valid(self):
+        result(words_fetched=30, lines_fetched=20).check()
+
+    def test_check_rejects_unbalanced_hits(self):
+        with pytest.raises(AssertionError):
+            result(hits_main=0).check()
+
+    def test_check_rejects_words_below_lines(self):
+        with pytest.raises(AssertionError):
+            result(words_fetched=5, lines_fetched=10).check()
+
+    def test_check_rejects_subcycle_accesses(self):
+        with pytest.raises(AssertionError):
+            result(cycles=50).check()
+
+
+class TestExport:
+    def test_as_dict_has_counters_and_derived(self):
+        d = result(words_fetched=80).as_dict()
+        assert d["refs"] == 100
+        assert d["amat"] == 3.0
+        assert d["traffic"] == 0.8
+
+    def test_str_mentions_names(self):
+        s = str(result())
+        assert "c" in s and "t" in s

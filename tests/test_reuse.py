@@ -1,0 +1,91 @@
+"""Tests for the reuse-distance analysis (figure 1a)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memtrace.reuse import (
+    REUSE_BUCKETS,
+    bucket_of,
+    forward_reuse_distances,
+    fraction_beyond,
+    reuse_profile,
+)
+
+from conftest import make_trace
+
+
+class TestForwardDistances:
+    def test_simple_reuse(self):
+        t = make_trace([0, 8, 0])
+        d = forward_reuse_distances(t).tolist()
+        assert d == [2, -1, -1]
+
+    def test_no_reuse(self):
+        t = make_trace([0, 8, 16])
+        assert forward_reuse_distances(t).tolist() == [-1, -1, -1]
+
+    def test_word_granularity(self):
+        # 0 and 4 share the same 8-byte word.
+        t = make_trace([0, 4])
+        assert forward_reuse_distances(t).tolist() == [1, -1]
+
+    def test_line_granularity(self):
+        t = make_trace([0, 24])
+        assert forward_reuse_distances(t, granularity=32).tolist() == [1, -1]
+
+    def test_chain(self):
+        t = make_trace([0, 0, 0])
+        assert forward_reuse_distances(t).tolist() == [1, 1, -1]
+
+    def test_empty(self):
+        assert len(forward_reuse_distances(make_trace([]))) == 0
+
+
+class TestBuckets:
+    def test_bucket_labels(self):
+        assert bucket_of(-1) == "no reuse"
+        assert bucket_of(1) == "1 - 10^2"
+        assert bucket_of(100) == "1 - 10^2"
+        assert bucket_of(101) == "10^2 - 10^3"
+        assert bucket_of(5000) == "10^3 - 10^4"
+        assert bucket_of(1_000_000) == "> 10^4"
+
+    def test_bucket_boundaries_match_constants(self):
+        labels = [label for label, _ in REUSE_BUCKETS]
+        assert labels[0] == "no reuse" and labels[-1] == "> 10^4"
+
+
+class TestProfile:
+    def test_fractions_sum_to_one(self):
+        t = make_trace([0, 8, 0, 8, 16])
+        p = reuse_profile(t)
+        assert abs(sum(p.fractions.values()) - 1.0) < 1e-9
+
+    def test_all_single_use(self):
+        t = make_trace([0, 8, 16, 24])
+        p = reuse_profile(t)
+        assert p.fraction("no reuse") == 1.0
+
+    def test_mean_distance(self):
+        t = make_trace([0, 8, 0])
+        assert reuse_profile(t).mean_distance == 2.0
+
+    def test_named_after_trace(self):
+        assert reuse_profile(make_trace([0], name="abc")).name == "abc"
+
+    @given(st.lists(st.sampled_from([0, 8, 16, 24]), min_size=1, max_size=60))
+    def test_fractions_always_sum_to_one(self, addresses):
+        p = reuse_profile(make_trace(addresses))
+        assert abs(sum(p.fractions.values()) - 1.0) < 1e-9
+
+
+class TestFractionBeyond:
+    def test_counts_only_distant_reuse(self):
+        # Distances: [3, -1, 1, -1] -> beyond 2: one reference of four.
+        t = make_trace([0, 8, 8, 0])
+        assert fraction_beyond(t, 2) == 0.25
+
+    def test_empty_trace(self):
+        assert fraction_beyond(make_trace([]), 10) == 0.0

@@ -1,0 +1,136 @@
+"""Tests for the standard (baseline) cache, on hand-computed sequences.
+
+Geometry used throughout: 128 B cache, 32 B lines => 4 sets.
+Timing: latency 10, 16 B/cycle bus => miss penalty 10 + 2 = 12 cycles.
+"""
+
+import pytest
+
+from repro.sim import CacheGeometry, MemoryTiming, StandardCache
+
+
+PENALTY = 12
+
+
+def make_cache(ways=1):
+    return StandardCache(
+        CacheGeometry(128 * ways, 32, ways),
+        MemoryTiming(latency=10, bus_bytes_per_cycle=16),
+    )
+
+
+def access(cache, address, write=False, now=0):
+    return cache.access(address, write, False, False, now)
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert access(c, 0, now=0) == PENALTY
+        assert access(c, 0, now=100) == 1
+        assert c.stats.misses == 1 and c.stats.hits_main == 1
+
+    def test_line_granularity(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        assert access(c, 31, now=100) == 1  # same 32-byte line
+        assert access(c, 32, now=200) == PENALTY  # next line
+
+    def test_conflict_eviction(self):
+        c = make_cache()  # 4 sets: addresses 0 and 128 collide
+        access(c, 0, now=0)
+        access(c, 128, now=100)
+        assert access(c, 0, now=200) == PENALTY
+        assert c.stats.misses == 3
+
+    def test_distinct_sets_coexist(self):
+        c = make_cache()
+        for k, address in enumerate((0, 32, 64, 96)):
+            access(c, address, now=100 * k)
+        for k, address in enumerate((0, 32, 64, 96)):
+            assert access(c, address, now=1000 + 10 * k) == 1
+
+    def test_words_fetched(self):
+        c = make_cache()
+        access(c, 0)
+        assert c.stats.words_fetched == 4  # 32-byte line = 4 words
+        assert c.stats.lines_fetched == 1
+
+
+class TestLRU:
+    def test_two_way_lru(self):
+        c = make_cache(ways=2)
+        # Set 0 holds lines 0 and 256 (two ways).
+        access(c, 0, now=0)
+        access(c, 256, now=10)
+        access(c, 0, now=20)       # touch 0: 256 becomes LRU
+        access(c, 512, now=30)     # evicts 256
+        assert access(c, 0, now=100) == 1
+        assert access(c, 256, now=200) == PENALTY
+
+    def test_two_way_capacity(self):
+        c = make_cache(ways=2)
+        access(c, 0, now=0)
+        access(c, 256, now=100)
+        assert access(c, 0, now=200) == 1
+        assert access(c, 256, now=300) == 1
+
+
+class TestWrites:
+    def test_write_allocate(self):
+        c = make_cache()
+        assert access(c, 0, write=True, now=0) == PENALTY
+        assert access(c, 0, now=100) == 1
+
+    def test_dirty_eviction_writeback(self):
+        c = make_cache()
+        access(c, 0, write=True, now=0)
+        access(c, 128, now=100)  # evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        access(c, 128, now=100)
+        assert c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = make_cache()
+        access(c, 0, now=0)            # clean fill
+        access(c, 0, write=True, now=10)
+        access(c, 128, now=100)
+        assert c.stats.writebacks == 1
+
+
+class TestBusyWait:
+    def test_access_waits_for_previous_miss(self):
+        c = make_cache()
+        access(c, 0, now=0)  # cache busy until t=12
+        # A hit issued at t=5 waits 7 cycles, then takes 1.
+        assert access(c, 0, now=5) == 8
+
+    def test_no_wait_after_completion(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        assert access(c, 0, now=12) == 1
+
+
+class TestObservability:
+    def test_contains(self):
+        c = make_cache()
+        access(c, 0)
+        assert c.contains(0) and c.contains(24)
+        assert not c.contains(32)
+
+    def test_reset(self):
+        c = make_cache()
+        access(c, 0)
+        c.reset()
+        assert not c.contains(0)
+        assert c.stats.refs == 0
+
+    def test_tags_ignored(self):
+        c = make_cache()
+        c.access(0, False, True, True, 0)
+        c.access(128, False, True, True, 10)
+        assert c.access(0, False, True, True, 100) == PENALTY

@@ -1,0 +1,57 @@
+"""Tests for instrumentation statistics (figure 4)."""
+
+import pytest
+
+from repro.memtrace import (
+    FIG4B_DISTRIBUTION,
+    TAG_CATEGORIES,
+    gap_histogram,
+    tag_profile,
+)
+
+from conftest import make_trace
+
+
+class TestTagProfile:
+    def test_all_categories_present(self):
+        p = tag_profile(make_trace([0]))
+        assert set(p.fractions) == set(TAG_CATEGORIES)
+
+    def test_category_assignment(self):
+        t = make_trace(
+            [0, 8, 16, 24],
+            temporal=[False, False, True, True],
+            spatial=[False, True, False, True],
+        )
+        p = tag_profile(t)
+        assert p.fractions["no temporal, no spatial"] == 0.25
+        assert p.fractions["no temporal, spatial"] == 0.25
+        assert p.fractions["temporal, no spatial"] == 0.25
+        assert p.fractions["temporal, spatial"] == 0.25
+
+    def test_aggregates(self):
+        t = make_trace(
+            [0, 8, 16, 24],
+            temporal=[True, True, False, False],
+            spatial=[True, False, True, False],
+        )
+        p = tag_profile(t)
+        assert p.temporal_fraction == 0.5
+        assert p.spatial_fraction == 0.5
+        assert p.untagged_fraction == 0.25
+
+    def test_fractions_sum_to_one(self):
+        t = make_trace([0, 8], temporal=[True, False], spatial=[False, False])
+        assert abs(sum(tag_profile(t).fractions.values()) - 1.0) < 1e-9
+
+    def test_empty_trace(self):
+        p = tag_profile(make_trace([]))
+        assert sum(p.fractions.values()) == 0.0
+
+
+class TestGapHistogram:
+    def test_uses_trace_gaps(self):
+        t = make_trace([0, 8, 16], gaps=[1, 1, 25])
+        h = gap_histogram(t, FIG4B_DISTRIBUTION)
+        assert h[1] == pytest.approx(2 / 3)
+        assert h[25] == pytest.approx(1 / 3)

@@ -1,0 +1,105 @@
+"""Tests for the sub-block (sectored) cache baseline."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import CacheGeometry, MemoryTiming, SubBlockCache
+
+TIMING = MemoryTiming(latency=10, bus_bytes_per_cycle=16)
+SUB_PENALTY = 12  # latency + 32-byte sector transfer
+
+
+def make_cache():
+    # 256 B cache, 64 B lines (4 lines), 32 B sub-blocks.
+    return SubBlockCache(CacheGeometry(256, 64, 1), sub_block=32, timing=TIMING)
+
+
+def access(cache, address, now, write=False):
+    return cache.access(address, write, False, False, now)
+
+
+class TestValidation:
+    def test_subblock_must_divide_line(self):
+        with pytest.raises(ConfigError):
+            SubBlockCache(CacheGeometry(256, 64, 1), sub_block=48)
+
+    def test_subblock_must_fit(self):
+        with pytest.raises(ConfigError):
+            SubBlockCache(CacheGeometry(256, 32, 1), sub_block=64)
+
+    def test_pow2(self):
+        with pytest.raises(ConfigError):
+            SubBlockCache(CacheGeometry(256, 64, 1), sub_block=24)
+
+
+class TestSectoring:
+    def test_tag_miss_fetches_one_sector(self):
+        c = make_cache()
+        assert access(c, 0, now=0) == SUB_PENALTY
+        assert c.stats.words_fetched == 4  # one 32 B sector, not 64 B
+        assert c.contains(0)
+        assert not c.contains(32)  # other sector invalid
+
+    def test_subblock_miss(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        cycles = access(c, 32, now=100)  # same line, other sector
+        assert cycles == SUB_PENALTY
+        assert c.stats.misses == 2
+        assert c.contains(32)
+
+    def test_hit_within_sector(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        assert access(c, 24, now=100) == 1
+
+    def test_no_neighbour_prefetch(self):
+        # The §2.1 contrast with virtual lines: a stride-one stream still
+        # misses once per *sector*.
+        c = make_cache()
+        misses_per_word = []
+        for k in range(16):
+            access(c, 8 * k, now=1000 * k)
+        assert c.stats.misses == 4  # one per 32 B sector over 128 B
+
+    def test_tag_replacement_invalidates_sectors(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        access(c, 32, now=100)
+        access(c, 256, now=200)   # same set (4 sets * 64 B): evicts line 0
+        assert not c.contains(0) and not c.contains(32)
+        assert access(c, 0, now=300) == SUB_PENALTY
+
+
+class TestWrites:
+    def test_dirty_sector_written_back(self):
+        c = make_cache()
+        access(c, 0, now=0, write=True)
+        access(c, 256, now=100)
+        assert c.stats.writebacks == 1
+
+    def test_clean_line_no_writeback(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        access(c, 256, now=100)
+        assert c.stats.writebacks == 0
+
+    def test_write_to_valid_sector_hits(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        assert access(c, 0, now=100, write=True) == 1
+
+
+class TestAccounting:
+    def test_conservation(self):
+        c = make_cache()
+        for k, addr in enumerate([0, 32, 0, 256, 8, 40]):
+            access(c, addr, now=100 * k)
+        s = c.stats
+        assert s.refs == s.hits_main + s.hits_assist + s.misses
+
+    def test_reset(self):
+        c = make_cache()
+        access(c, 0, now=0)
+        c.reset()
+        assert not c.contains(0) and c.stats.refs == 0

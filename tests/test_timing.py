@@ -1,0 +1,70 @@
+"""Tests for the memory timing model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import PAPER_TIMING, MemoryTiming
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        assert PAPER_TIMING.latency == 20
+        assert PAPER_TIMING.bus_bytes_per_cycle == 16
+        assert PAPER_TIMING.hit_time == 1
+        assert PAPER_TIMING.assist_hit_time == 3
+        assert PAPER_TIMING.swap_lock == 2
+        assert PAPER_TIMING.dirty_transfer == 2
+
+
+class TestValidation:
+    def test_negative_latency(self):
+        with pytest.raises(ConfigError):
+            MemoryTiming(latency=-1)
+
+    def test_zero_bus(self):
+        with pytest.raises(ConfigError):
+            MemoryTiming(bus_bytes_per_cycle=0)
+
+    def test_zero_hit_time(self):
+        with pytest.raises(ConfigError):
+            MemoryTiming(hit_time=0)
+
+    def test_assist_slower_than_main(self):
+        with pytest.raises(ConfigError):
+            MemoryTiming(hit_time=3, assist_hit_time=2)
+
+    def test_negative_write_buffer(self):
+        with pytest.raises(ConfigError):
+            MemoryTiming(write_buffer_entries=-1)
+
+
+class TestTransfers:
+    def test_transfer_rounds_up(self):
+        t = MemoryTiming(bus_bytes_per_cycle=16)
+        assert t.transfer_cycles(32) == 2
+        assert t.transfer_cycles(33) == 3
+        assert t.transfer_cycles(8) == 1
+        assert t.transfer_cycles(0) == 0
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ConfigError):
+            PAPER_TIMING.transfer_cycles(-1)
+
+    def test_miss_penalty_paper_formula(self):
+        # t_lat + n * LS / w_b: 32-byte line on a 16 B/cycle bus.
+        assert PAPER_TIMING.miss_penalty(1, 32) == 22
+        assert PAPER_TIMING.miss_penalty(2, 32) == 24
+        # Loading a 256-byte virtual line costs 14 cycles more than a
+        # 32-byte physical line (the paper's example).
+        assert PAPER_TIMING.miss_penalty(8, 32) - PAPER_TIMING.miss_penalty(1, 32) == 14
+
+    def test_virtual_equals_large_physical(self):
+        # n physical lines of LS = one physical line of n*LS.
+        assert PAPER_TIMING.miss_penalty(4, 32) == PAPER_TIMING.miss_penalty(1, 128)
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(ConfigError):
+            PAPER_TIMING.miss_penalty(0, 32)
+
+    def test_word_fetch(self):
+        assert PAPER_TIMING.word_fetch_penalty() == 21

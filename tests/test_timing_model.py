@@ -1,0 +1,100 @@
+"""Tests for the inter-reference gap model (figure 4b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memtrace import FIG4B_DISTRIBUTION, UNIT_GAPS, GapDistribution, draw_gaps
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            GapDistribution((1, 2), (1.0,))
+
+    def test_empty(self):
+        with pytest.raises(ConfigError):
+            GapDistribution((), ())
+
+    def test_negative_value(self):
+        with pytest.raises(ConfigError):
+            GapDistribution((-1,), (1.0,))
+
+    def test_negative_weight(self):
+        with pytest.raises(ConfigError):
+            GapDistribution((1,), (-1.0,))
+
+    def test_all_zero_weights(self):
+        with pytest.raises(ConfigError):
+            GapDistribution((1, 2), (0.0, 0.0))
+
+
+class TestSampling:
+    def test_probabilities_normalised(self):
+        d = GapDistribution((1, 2), (3.0, 1.0))
+        assert d.probabilities.tolist() == [0.75, 0.25]
+
+    def test_mean(self):
+        d = GapDistribution((1, 3), (1.0, 1.0))
+        assert d.mean() == 2.0
+
+    def test_sample_values_in_support(self):
+        rng = np.random.default_rng(0)
+        samples = FIG4B_DISTRIBUTION.sample(1000, rng)
+        assert set(samples.tolist()) <= set(FIG4B_DISTRIBUTION.values)
+
+    def test_sample_deterministic_with_seed(self):
+        a = FIG4B_DISTRIBUTION.sample(100, np.random.default_rng(42))
+        b = FIG4B_DISTRIBUTION.sample(100, np.random.default_rng(42))
+        assert (a == b).all()
+
+    def test_sample_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            UNIT_GAPS.sample(-1, np.random.default_rng(0))
+
+    def test_draw_gaps_wrapper(self):
+        gaps = draw_gaps(50, UNIT_GAPS, seed=1)
+        assert (gaps == 1).all()
+
+    def test_empirical_mean_close_to_model(self):
+        gaps = draw_gaps(200_000, FIG4B_DISTRIBUTION, seed=5)
+        assert abs(gaps.mean() - FIG4B_DISTRIBUTION.mean()) < 0.05
+
+
+class TestHistogram:
+    def test_exact_values(self):
+        d = GapDistribution((1, 2, 5), (1, 1, 1))
+        h = d.histogram([1, 1, 2, 5])
+        assert h[1] == 0.5 and h[2] == 0.25 and h[5] == 0.25
+
+    def test_intermediate_values_bucket_up(self):
+        d = GapDistribution((1, 5), (1, 1))
+        h = d.histogram([3])
+        assert h[5] == 1.0
+
+    def test_overflow_goes_to_last_bucket(self):
+        d = GapDistribution((1, 5), (1, 1))
+        assert d.histogram([99])[5] == 1.0
+
+    def test_empty_histogram(self):
+        h = UNIT_GAPS.histogram([])
+        assert h[1] == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=50))
+    def test_fractions_sum_to_one(self, gaps):
+        h = FIG4B_DISTRIBUTION.histogram(gaps)
+        if gaps:
+            assert abs(sum(h.values()) - 1.0) < 1e-9
+
+
+class TestRoundTrip:
+    def test_sampled_histogram_matches_model(self):
+        rng = np.random.default_rng(11)
+        samples = FIG4B_DISTRIBUTION.sample(300_000, rng).tolist()
+        histogram = FIG4B_DISTRIBUTION.histogram(samples)
+        for value, p in zip(
+            FIG4B_DISTRIBUTION.values, FIG4B_DISTRIBUTION.probabilities
+        ):
+            assert abs(histogram[value] - p) < 0.01

@@ -1,0 +1,160 @@
+"""Unit tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.memtrace import Trace, TraceBuilder, TraceEntry, WORD_SIZE
+
+from conftest import make_trace
+
+
+class TestTraceEntry:
+    def test_defaults(self):
+        e = TraceEntry(64)
+        assert not e.is_write and not e.temporal and not e.spatial
+        assert e.gap == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            TraceEntry(-1)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            TraceEntry(0, gap=-2)
+
+
+class TestTrace:
+    def test_len_and_getitem(self):
+        t = make_trace([0, 8, 16], is_write=[False, True, False])
+        assert len(t) == 3
+        assert t[1].is_write
+        assert t[2].address == 16
+
+    def test_iteration_yields_entries(self):
+        t = make_trace([0, 8])
+        entries = list(t)
+        assert all(isinstance(e, TraceEntry) for e in entries)
+        assert [e.address for e in entries] == [0, 8]
+
+    def test_columns_are_plain_lists(self):
+        t = make_trace([0, 8])
+        addr, w, temporal, spatial, gaps = t.columns()
+        assert isinstance(addr, list) and isinstance(addr[0], int)
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(
+                np.array([0, 8]),
+                np.array([False]),
+                np.array([False, False]),
+                np.array([False, False]),
+                np.array([1, 1]),
+            )
+
+    def test_ref_ids_length_checked(self):
+        with pytest.raises(TraceError):
+            make_trace([0, 8], ref_ids=[1])
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([-8])
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([0], gaps=[-1])
+
+    def test_empty_trace_ok(self):
+        t = make_trace([])
+        assert len(t) == 0
+
+
+class TestTagClearing:
+    def test_clear_both(self):
+        t = make_trace([0, 8], temporal=[True, True], spatial=[True, False])
+        cleared = t.with_tags_cleared()
+        assert not cleared.temporal.any() and not cleared.spatial.any()
+
+    def test_clear_temporal_only(self):
+        t = make_trace([0], temporal=[True], spatial=[True])
+        cleared = t.with_tags_cleared(temporal=True, spatial=False)
+        assert not cleared.temporal.any()
+        assert cleared.spatial.all()
+
+    def test_original_unchanged(self):
+        t = make_trace([0], temporal=[True])
+        t.with_tags_cleared()
+        assert t.temporal.all()
+
+    def test_ref_ids_preserved(self):
+        t = make_trace([0, 8], ref_ids=[3, 4])
+        assert t.with_tags_cleared().ref_ids.tolist() == [3, 4]
+
+
+class TestConcat:
+    def test_basic(self):
+        a = make_trace([0], name="a")
+        b = make_trace([8], name="b")
+        c = a.concat(b)
+        assert len(c) == 2
+        assert c.name == "a+b"
+
+    def test_ref_ids_shifted(self):
+        a = make_trace([0, 8], ref_ids=[0, 1])
+        b = make_trace([16], ref_ids=[0])
+        c = a.concat(b)
+        assert c.ref_ids.tolist() == [0, 1, 2]
+
+    def test_missing_ref_ids_dropped(self):
+        a = make_trace([0], ref_ids=[0])
+        b = Trace(
+            np.array([8]), np.array([False]), np.array([False]),
+            np.array([False]), np.array([1]),
+        )
+        assert a.concat(b).ref_ids is None
+
+
+class TestFromEntries:
+    def test_roundtrip(self):
+        entries = [TraceEntry(0, True, False, True, 2), TraceEntry(8)]
+        t = Trace.from_entries(entries, name="rt")
+        assert len(t) == 2
+        assert t[0].is_write and t[0].spatial and t[0].gap == 2
+
+
+class TestTraceBuilder:
+    def test_append_single(self):
+        b = TraceBuilder("x")
+        b.append(0, is_write=True, gap=3, ref_id=7)
+        t = b.freeze()
+        assert len(t) == 1
+        assert t[0].is_write and t[0].gap == 3
+        assert t.ref_ids.tolist() == [7]
+
+    def test_append_block(self):
+        b = TraceBuilder()
+        b.append_block(
+            np.array([0, 8]), np.array([False, True]),
+            np.array([True, False]), np.array([False, False]),
+            np.array([1, 1]),
+        )
+        assert len(b) == 2
+        t = b.freeze()
+        assert t.temporal.tolist() == [True, False]
+
+    def test_block_length_mismatch_rejected(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceError):
+            b.append_block(
+                np.array([0, 8]), np.array([False]),
+                np.array([False, False]), np.array([False, False]),
+                np.array([1, 1]),
+            )
+
+    def test_empty_freeze(self):
+        t = TraceBuilder("empty").freeze()
+        assert len(t) == 0
+        assert t.name == "empty"
+
+    def test_word_size_constant(self):
+        assert WORD_SIZE == 8

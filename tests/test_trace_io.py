@@ -1,0 +1,89 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.memtrace import load_trace, save_trace
+from repro.memtrace.io import FORMAT_VERSION
+
+from conftest import make_trace
+
+
+class TestRoundTrip:
+    def test_all_columns(self, tmp_path):
+        trace = make_trace(
+            [0, 8, 16],
+            is_write=[False, True, False],
+            temporal=[True, False, False],
+            spatial=[False, True, False],
+            gaps=[1, 5, 2],
+            name="roundtrip",
+            ref_ids=[0, 1, 0],
+        )
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "roundtrip"
+        assert loaded.addresses.tolist() == [0, 8, 16]
+        assert loaded.is_write.tolist() == [False, True, False]
+        assert loaded.temporal.tolist() == [True, False, False]
+        assert loaded.spatial.tolist() == [False, True, False]
+        assert loaded.gaps.tolist() == [1, 5, 2]
+        assert loaded.ref_ids.tolist() == [0, 1, 0]
+
+    def test_without_ref_ids(self, tmp_path):
+        from repro.memtrace import Trace
+
+        trace = Trace(
+            np.array([0, 8]), np.array([False, False]),
+            np.array([False, False]), np.array([False, False]),
+            np.array([1, 1]), name="bare",
+        )
+        path = tmp_path / "bare.npz"
+        save_trace(trace, path)
+        assert load_trace(path).ref_ids is None
+
+    def test_generated_trace_roundtrip(self, tmp_path, mv_tiny_trace):
+        path = tmp_path / "mv.npz"
+        save_trace(mv_tiny_trace, path)
+        loaded = load_trace(path)
+        assert (loaded.addresses == mv_tiny_trace.addresses).all()
+        assert (loaded.gaps == mv_tiny_trace.gaps).all()
+
+    def test_simulation_identical_after_reload(self, tmp_path, mv_tiny_trace):
+        from repro.core import presets
+        from repro.sim import simulate
+
+        path = tmp_path / "mv.npz"
+        save_trace(mv_tiny_trace, path)
+        a = simulate(presets.soft(), mv_tiny_trace)
+        b = simulate(presets.soft(), load_trace(path))
+        assert a.cycles == b.cycles and a.misses == b.misses
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(FORMAT_VERSION + 1),
+            name=np.str_("x"),
+            addresses=np.array([0]),
+            is_write=np.array([False]),
+            temporal=np.array([False]),
+            spatial=np.array([False]),
+            gaps=np.array([1]),
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises(TraceError):
+            load_trace(path)

@@ -1,0 +1,188 @@
+"""Tests for instrumented trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    Program,
+    ScalarBlock,
+    generate_trace,
+    nest,
+    var,
+)
+from repro.errors import CompilerError
+from repro.memtrace import UNIT_GAPS
+
+i, j = var("i"), var("j")
+
+
+def simple_program(**kwargs):
+    arrays = [Array("A", (4, 4)), Array("X", (4,))]
+    loop = nest(
+        [Loop("i", 0, 2), Loop("j", 0, 4)],
+        body=[ArrayRef("A", (j, i)), ArrayRef("X", (j,), is_write=True)],
+        name="simple",
+    )
+    return Program("simple", arrays, [loop], **kwargs)
+
+
+class TestAddressStream:
+    def test_reference_order_is_source_order(self):
+        trace = generate_trace(simple_program(), gap_distribution=UNIT_GAPS)
+        # First iteration (i=0, j=0): A(0,0) then X(0).
+        bases = simple_program().layout()
+        assert trace.addresses[0] == bases["A"]
+        assert trace.addresses[1] == bases["X"]
+        # Second iteration (i=0, j=1): A(1,0), X(1).
+        assert trace.addresses[2] == bases["A"] + 8
+        assert trace.addresses[3] == bases["X"] + 8
+
+    def test_column_major_layout(self):
+        # A(j, i): walking j is stride-1, walking i strides by 4 elements.
+        trace = generate_trace(simple_program(), gap_distribution=UNIT_GAPS)
+        a_addresses = trace.addresses[0::2]
+        assert a_addresses[4] - a_addresses[0] == 4 * 8  # i += 1
+
+    def test_total_length(self):
+        p = simple_program()
+        trace = generate_trace(p)
+        assert len(trace) == p.references == 2 * 4 * 2
+
+    def test_repeat(self):
+        p = simple_program(repeat=3)
+        trace = generate_trace(p)
+        assert len(trace) == 3 * 16
+        # The repeated sections address the same data.
+        assert trace.addresses[0] == trace.addresses[16]
+
+    def test_write_flags(self):
+        trace = generate_trace(simple_program())
+        assert trace.is_write.tolist()[:4] == [False, True, False, True]
+
+    def test_ref_ids_stable_across_repeats(self):
+        trace = generate_trace(simple_program(repeat=2))
+        assert trace.ref_ids[0] == trace.ref_ids[16]
+        assert set(trace.ref_ids.tolist()) == {0, 1}
+
+
+class TestPrePostOrder:
+    def test_interleaving(self):
+        arrays = [Array("Y", (2,)), Array("A", (3, 2))]
+        loop = nest(
+            [Loop("i", 0, 2), Loop("j", 0, 3)],
+            body=[ArrayRef("A", (j, i))],
+            pre=[ArrayRef("Y", (i,))],
+            post=[ArrayRef("Y", (i,), is_write=True)],
+        )
+        p = Program("pp", arrays, [loop])
+        trace = generate_trace(p, gap_distribution=UNIT_GAPS)
+        bases = p.layout()
+        expected = [
+            bases["Y"], bases["A"], bases["A"] + 8, bases["A"] + 16, bases["Y"],
+            bases["Y"] + 8, bases["A"] + 24, bases["A"] + 32, bases["A"] + 40,
+            bases["Y"] + 8,
+        ]
+        assert trace.addresses.tolist() == expected
+
+    def test_pre_post_write_flags(self):
+        arrays = [Array("Y", (2,)), Array("A", (3, 2))]
+        loop = nest(
+            [Loop("i", 0, 2), Loop("j", 0, 3)],
+            body=[ArrayRef("A", (j, i))],
+            pre=[ArrayRef("Y", (i,))],
+            post=[ArrayRef("Y", (i,), is_write=True)],
+        )
+        trace = generate_trace(Program("pp", arrays, [loop]))
+        assert trace.is_write.tolist()[:5] == [False, False, False, False, True]
+
+
+class TestIndirect:
+    def test_gather_addresses(self):
+        table = (3, 0, 2, 1)
+        arrays = [Array("X", (4,))]
+        loop = nest(
+            [Loop("j", 0, 4)], [ArrayRef("X", (j,), indirect=table)]
+        )
+        p = Program("gather", arrays, [loop])
+        trace = generate_trace(p, gap_distribution=UNIT_GAPS)
+        base = p.layout()["X"]
+        assert trace.addresses.tolist() == [base + 8 * t for t in table]
+
+    def test_out_of_range_position_rejected(self):
+        arrays = [Array("X", (4,))]
+        loop = nest([Loop("j", 0, 9)], [ArrayRef("X", (j,), indirect=(0,) * 4)])
+        with pytest.raises(CompilerError):
+            generate_trace(Program("bad", arrays, [loop]))
+
+    def test_out_of_bounds_offset_rejected(self):
+        arrays = [Array("X", (4,))]
+        loop = nest([Loop("j", 0, 2)], [ArrayRef("X", (j,), indirect=(0, 99))])
+        with pytest.raises(CompilerError):
+            generate_trace(Program("bad", arrays, [loop]))
+
+
+class TestBoundsChecking:
+    def test_direct_overflow_rejected(self):
+        arrays = [Array("X", (4,))]
+        loop = nest([Loop("j", 0, 5)], [ArrayRef("X", (j,))])
+        with pytest.raises(CompilerError):
+            generate_trace(Program("bad", arrays, [loop]))
+
+    def test_negative_offset_rejected(self):
+        arrays = [Array("X", (4,))]
+        loop = nest([Loop("j", 0, 2)], [ArrayRef("X", (j - 1,))])
+        with pytest.raises(CompilerError):
+            generate_trace(Program("bad", arrays, [loop]))
+
+
+class TestScalarBlocks:
+    def test_round_robin_and_writes(self):
+        block = ScalarBlock((100, 108), count=5, write_every=2)
+        p = Program("s", [], [block])
+        trace = generate_trace(p, gap_distribution=UNIT_GAPS)
+        assert trace.addresses.tolist() == [100, 108, 100, 108, 100]
+        assert trace.is_write.tolist() == [False, True, False, True, False]
+
+    def test_untagged(self):
+        block = ScalarBlock((100,), count=3)
+        trace = generate_trace(Program("s", [], [block]))
+        assert not trace.temporal.any() and not trace.spatial.any()
+
+
+class TestTagsAndGaps:
+    def test_tags_attached_from_analysis(self, fig5_program):
+        trace = generate_trace(fig5_program, gap_distribution=UNIT_GAPS)
+        # Per iteration: A(0,0), B(1,0), B(1,1), X(1,1), Y(1,1), Y(1,1).
+        assert trace.temporal.tolist()[:6] == [False, True, True, True, True, True]
+        assert trace.spatial.tolist()[:6] == [False, False, True, True, True, True]
+
+    def test_deterministic_given_seed(self, fig5_program):
+        a = generate_trace(fig5_program, seed=5)
+        b = generate_trace(fig5_program, seed=5)
+        assert (a.gaps == b.gaps).all() and (a.addresses == b.addresses).all()
+
+    def test_different_seeds_differ(self, fig5_program):
+        a = generate_trace(fig5_program, seed=1)
+        b = generate_trace(fig5_program, seed=2)
+        assert (a.gaps != b.gaps).any()
+
+    def test_unit_gaps(self, fig5_program):
+        trace = generate_trace(fig5_program, gap_distribution=UNIT_GAPS)
+        assert (trace.gaps == 1).all()
+
+    def test_name_override(self, fig5_program):
+        assert generate_trace(fig5_program, name="custom").name == "custom"
+
+
+class TestGuards:
+    def test_reference_limit(self):
+        arrays = [Array("X", (10,))]
+        loop = nest(
+            [Loop("i", 0, 10_000_000), Loop("j", 0, 10)],
+            [ArrayRef("X", (j,))],
+        )
+        with pytest.raises(CompilerError):
+            generate_trace(Program("huge", arrays, [loop]))

@@ -1,0 +1,102 @@
+"""Tests for the per-instruction vector-length analysis (figure 1b)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.memtrace.vectors import (
+    MAX_IDLE_REFS,
+    MAX_STRIDE_BYTES,
+    VECTOR_BUCKETS,
+    bucket_of,
+    vector_lengths,
+    vector_profile,
+)
+
+from conftest import make_trace
+
+
+class TestVectorLengths:
+    def test_requires_ref_ids(self):
+        with pytest.raises(TraceError):
+            vector_lengths(make_trace([0, 8]))
+
+    def test_single_stream(self):
+        t = make_trace([0, 8, 16, 24], ref_ids=[1, 1, 1, 1])
+        assert vector_lengths(t) == [(25, 4)]
+
+    def test_interleaved_streams(self):
+        t = make_trace([0, 1000, 8, 1008], ref_ids=[1, 2, 1, 2])
+        lengths = sorted(vector_lengths(t))
+        assert lengths == [(9, 2), (9, 2)]
+
+    def test_stride_termination(self):
+        stride = MAX_STRIDE_BYTES + 8
+        t = make_trace([0, stride], ref_ids=[1, 1])
+        # The big jump terminates the first sequence and starts another.
+        assert sorted(vector_lengths(t)) == [(1, 1), (1, 1)]
+
+    def test_stride_at_limit_continues(self):
+        t = make_trace([0, MAX_STRIDE_BYTES], ref_ids=[1, 1])
+        assert vector_lengths(t) == [(MAX_STRIDE_BYTES + 1, 2)]
+
+    def test_idle_termination(self):
+        n_idle = MAX_IDLE_REFS + 1
+        addresses = [0] + [10_000 + 8 * k for k in range(n_idle)] + [8]
+        ref_ids = [1] + [2] * n_idle + [1]
+        t = make_trace(addresses, ref_ids=ref_ids)
+        ones = [s for s in vector_lengths(t) if s[1] in (1,)]
+        # Instruction 1's two accesses are split by the idle gap.
+        assert len(ones) == 2
+
+    def test_descending_stream(self):
+        t = make_trace([24, 16, 8], ref_ids=[1, 1, 1])
+        assert vector_lengths(t) == [(17, 3)]
+
+    def test_repeated_same_address(self):
+        t = make_trace([64, 64, 64], ref_ids=[1, 1, 1])
+        assert vector_lengths(t) == [(1, 3)]
+
+
+class TestBuckets:
+    def test_labels(self):
+        assert bucket_of(32) == "<= 32 B"
+        assert bucket_of(33) == "32 - 64 B"
+        assert bucket_of(64) == "32 - 64 B"
+        assert bucket_of(100) == "64 - 128 B"
+        assert bucket_of(256) == "128 - 256 B"
+        assert bucket_of(512) == "256 - 512 B"
+        assert bucket_of(513) == "> 512 B"
+
+    def test_bucket_count(self):
+        assert len(VECTOR_BUCKETS) == 6
+
+
+class TestProfile:
+    def test_reference_weighted(self):
+        # One 4-ref stream spanning 25 B, one isolated ref: 80% of
+        # references live in the short-vector bucket.
+        t = make_trace([0, 8, 16, 24, 10_000], ref_ids=[1, 1, 1, 1, 2])
+        p = vector_profile(t)
+        assert p.fraction("<= 32 B") == 1.0  # both sequences are <= 32 B
+        assert p.total_refs == 5
+
+    def test_long_vector_fraction(self):
+        addresses = [8 * k for k in range(100)]  # 793-byte stream
+        t = make_trace(addresses, ref_ids=[1] * 100)
+        p = vector_profile(t)
+        assert p.fraction("> 512 B") == 1.0
+        assert p.fraction_longer_than(32) == 1.0
+
+    def test_fractions_sum_to_one(self):
+        t = make_trace([0, 8, 16, 400, 9000], ref_ids=[1, 1, 1, 2, 3])
+        p = vector_profile(t)
+        assert abs(sum(p.fractions.values()) - 1.0) < 1e-9
+
+    def test_mean_length_weighted_by_refs(self):
+        t = make_trace([0, 8, 10_000], ref_ids=[1, 1, 2])
+        p = vector_profile(t)
+        assert p.mean_length == pytest.approx((9 * 2 + 1 * 1) / 3)
+
+    def test_empty_trace(self):
+        p = vector_profile(make_trace([], ref_ids=[]))
+        assert p.total_refs == 0

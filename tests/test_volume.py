@@ -1,0 +1,133 @@
+"""Tests for the volume-aware tagging refinement."""
+
+import pytest
+
+from repro.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    analyze_nest,
+    nest,
+    var,
+)
+from repro.compiler.volume import (
+    DEFAULT_RETENTION_REFS,
+    UNREACHABLE,
+    group_reuse_distance,
+    reachable,
+    self_reuse_distance,
+)
+from repro.errors import CompilerError
+from repro.compiler.affine import Affine
+
+i, j, k = var("i"), var("j"), var("k")
+
+
+def offset(**coefficients):
+    return Affine.build(0, **coefficients)
+
+
+class TestSelfDistance:
+    def test_invariant_in_outer_loop(self):
+        loops = (Loop("i", 0, 10), Loop("j", 0, 100))
+        # X(j): reuse carried by i; one i-iteration issues 100*3 refs.
+        assert self_reuse_distance(offset(j=1), loops, 3) == 300
+
+    def test_innermost_carrier_preferred(self):
+        loops = (Loop("i", 0, 10), Loop("j", 0, 100), Loop("k", 0, 5))
+        # X(j): invariant in both i and k; k gives the short distance.
+        assert self_reuse_distance(offset(j=1), loops, 2) == 2
+
+    def test_no_carrier(self):
+        loops = (Loop("i", 0, 10), Loop("j", 0, 100))
+        assert self_reuse_distance(offset(i=1, j=1), loops, 3) == UNREACHABLE
+
+    def test_opaque_loop_not_a_carrier(self):
+        loops = (Loop("i", 0, 10, opaque=True), Loop("j", 0, 100))
+        assert self_reuse_distance(offset(j=1), loops, 3) == UNREACHABLE
+
+
+class TestGroupDistance:
+    def test_same_offset_pair(self):
+        loops = (Loop("j", 0, 100),)
+        assert group_reuse_distance(0, offset(j=1), loops, 4) == 0
+
+    def test_carried_by_matching_coefficient(self):
+        loops = (Loop("i", 0, 10), Loop("j", 0, 100))
+        # B(j, i) vs B(j, i+1): difference 100 = coefficient of i.
+        assert group_reuse_distance(100, offset(j=1, i=100), loops, 6) == 600
+
+    def test_multiple_iterations(self):
+        loops = (Loop("j", 0, 100),)
+        # Y(k) vs Y(k+6): 6 iterations of a stride-1 loop.
+        assert group_reuse_distance(6, offset(j=1), loops, 5) == 30
+
+    def test_dependence_beyond_trip_count(self):
+        loops = (Loop("j", 0, 4),)
+        assert group_reuse_distance(6, offset(j=1), loops, 5) == UNREACHABLE
+
+    def test_non_divisible_difference(self):
+        loops = (Loop("j", 0, 100),)
+        assert group_reuse_distance(3, offset(j=2), loops, 5) == UNREACHABLE
+
+
+class TestReachable:
+    def test_budget(self):
+        assert reachable(DEFAULT_RETENTION_REFS)
+        assert not reachable(DEFAULT_RETENTION_REFS + 1)
+        assert reachable(100, retention_refs=100)
+
+
+class TestPolicyInAnalysis:
+    def _mv(self, n):
+        return nest(
+            [Loop("j1", 0, 8), Loop("j2", 0, n)],
+            body=[ArrayRef("A", (j, i) if False else (var("j2"), var("j1"))),
+                  ArrayRef("X", (var("j2"),))],
+        ), {"A": Array("A", (n, 8)), "X": Array("X", (n,))}
+
+    def test_reachable_reuse_keeps_tag(self):
+        loop, arrays = self._mv(1000)  # distance 2000 < 5000
+        tags = analyze_nest(loop, arrays, policy="volume-aware")
+        assert tags.body[1].temporal
+
+    def test_unreachable_reuse_drops_tag(self):
+        loop, arrays = self._mv(4000)  # distance 8000 > 5000
+        tags = analyze_nest(loop, arrays, policy="volume-aware")
+        assert not tags.body[1].temporal
+        assert any("retention budget" in r for r in tags.body[1].reasons)
+
+    def test_elementary_always_tags(self):
+        loop, arrays = self._mv(4000)
+        tags = analyze_nest(loop, arrays, policy="elementary")
+        assert tags.body[1].temporal
+
+    def test_custom_retention(self):
+        loop, arrays = self._mv(1000)
+        tags = analyze_nest(
+            loop, arrays, policy="volume-aware", retention_refs=100
+        )
+        assert not tags.body[1].temporal
+
+    def test_group_pairs_stay_tagged(self):
+        v = {"V": Array("V", (64,))}
+        loop = nest(
+            [Loop("j", 0, 8)],
+            [ArrayRef("V", (j,)), ArrayRef("V", (j,), is_write=True)],
+        )
+        tags = analyze_nest(loop, v, policy="volume-aware")
+        assert tags.body[0].temporal and tags.body[1].temporal
+
+    def test_unknown_policy_rejected(self):
+        loop, arrays = self._mv(100)
+        with pytest.raises(CompilerError):
+            analyze_nest(loop, arrays, policy="magic")
+
+    def test_directive_overrides_policy(self):
+        arrays = {"X": Array("X", (4000,))}
+        loop = nest(
+            [Loop("j1", 0, 8), Loop("j2", 0, 4000)],
+            [ArrayRef("X", (var("j2"),), temporal=True)],
+        )
+        tags = analyze_nest(loop, arrays, policy="volume-aware")
+        assert tags.body[0].temporal

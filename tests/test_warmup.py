@@ -1,0 +1,63 @@
+"""Tests for the warm-up window of the simulation driver."""
+
+import pytest
+
+from repro.sim import CacheGeometry, MemoryTiming, StandardCache, simulate
+
+from conftest import make_trace
+
+TIMING = MemoryTiming(latency=10, bus_bytes_per_cycle=16)
+PENALTY = 12
+
+
+def make_cache():
+    return StandardCache(CacheGeometry(128, 32, 1), TIMING)
+
+
+class TestWarmup:
+    def test_cold_misses_discarded(self):
+        # First touch misses; all later touches hit.
+        trace = make_trace([0] * 10, gaps=[100] * 10)
+        cold = simulate(make_cache(), trace)
+        warm = simulate(make_cache(), trace, warmup_refs=1)
+        assert cold.misses == 1
+        assert warm.misses == 0
+        assert warm.refs == 9
+        assert warm.amat == 1.0
+
+    def test_state_survives_warmup(self):
+        # Warm-up must warm the cache, not reset it.
+        trace = make_trace([0, 32, 0, 32], gaps=[100] * 4)
+        warm = simulate(make_cache(), trace, warmup_refs=2)
+        assert warm.misses == 0 and warm.hits_main == 2
+
+    def test_zero_warmup_is_default(self):
+        trace = make_trace([0, 0], gaps=[100] * 2)
+        a = simulate(make_cache(), trace)
+        b = simulate(make_cache(), trace, warmup_refs=0)
+        assert a.as_dict() == b.as_dict()
+
+    def test_warmup_longer_than_trace(self):
+        trace = make_trace([0, 0], gaps=[100] * 2)
+        r = simulate(make_cache(), trace, warmup_refs=10)
+        assert r.refs == 0 and r.cycles == 0
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(make_cache(), make_trace([0]), warmup_refs=-1)
+
+    def test_cycles_match_post_warmup_sum(self):
+        trace = make_trace([0, 128, 0, 128], gaps=[100] * 4)
+        warm = simulate(make_cache(), trace, warmup_refs=2)
+        # After warm-up, both accesses are conflict misses.
+        assert warm.refs == 2
+        assert warm.cycles == 2 * PENALTY
+
+    def test_works_with_soft_cache(self, mv_tiny_trace):
+        from repro.core import presets
+
+        half = len(mv_tiny_trace) // 2
+        warm = simulate(presets.soft(), mv_tiny_trace, warmup_refs=half)
+        cold = simulate(presets.soft(), mv_tiny_trace)
+        assert warm.refs == len(mv_tiny_trace) - half
+        assert warm.miss_ratio <= cold.miss_ratio  # steady state hits more

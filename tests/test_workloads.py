@@ -1,0 +1,178 @@
+"""Tests for the benchmark suite models."""
+
+import pytest
+
+from repro.compiler import analyze_program, generate_trace
+from repro.errors import ConfigError
+from repro.memtrace import tag_profile
+from repro.workloads import (
+    BENCHMARK_ORDER,
+    KERNEL_ORDER,
+    FIG11A_BLOCK_SIZES,
+    FIG11B_LEADING_DIMS,
+    blocked_mm_program,
+    blocked_mv_program,
+    build_program,
+    get_trace,
+    liv_program,
+    mv_program,
+    nas_program,
+    perfect_kernel,
+    perfect_program,
+    slalom_program,
+    spmv_program,
+    suite_traces,
+)
+
+
+class TestRegistry:
+    def test_benchmark_order_is_papers(self):
+        assert BENCHMARK_ORDER == (
+            "MDG", "BDN", "DYF", "TRF", "NAS", "Slalom", "LIV", "MV", "SpMV",
+        )
+
+    def test_kernel_order(self):
+        assert KERNEL_ORDER == ("ADM", "MDG", "BDN", "DYF", "ARC", "FLO", "TRF")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigError):
+            build_program("nonesuch")
+
+    def test_trace_caching(self):
+        a = get_trace("MV", "tiny")
+        b = get_trace("MV", "tiny")
+        assert a is b
+
+    def test_different_seeds_not_cached_together(self):
+        a = get_trace("MV", "tiny", seed=0)
+        b = get_trace("MV", "tiny", seed=1)
+        assert a is not b
+
+    def test_suite_traces_complete(self):
+        traces = suite_traces("tiny")
+        assert tuple(traces) == BENCHMARK_ORDER
+        assert all(len(t) > 0 for t in traces.values())
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_all_build_and_generate(self, name):
+        program = build_program(name, "tiny")
+        trace = generate_trace(program, seed=0)
+        assert len(trace) == program.references * program.repeat
+        assert trace.ref_ids is not None
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_scales_differ(self, name):
+        tiny = build_program(name, "tiny")
+        test = build_program(name, "test")
+        assert test.references > tiny.references
+
+    def test_unknown_scale_rejected(self):
+        for builder in (mv_program, spmv_program, liv_program, nas_program,
+                        slalom_program):
+            with pytest.raises(ConfigError):
+                builder("gigantic")
+        with pytest.raises(ConfigError):
+            perfect_program("MDG", "gigantic")
+
+
+class TestMV:
+    def test_tags(self):
+        program = mv_program("tiny")
+        tags = analyze_program(program)[0]
+        a_tag, x_tag = tags.body
+        assert (a_tag.temporal, a_tag.spatial) == (False, True)
+        assert (x_tag.temporal, x_tag.spatial) == (True, True)
+        assert tags.pre[0].temporal and tags.pre[0].spatial
+
+    def test_x_exceeds_cache_at_paper_scale(self):
+        program = mv_program("paper")
+        assert program.arrays["X"].size_bytes > 8 * 1024
+
+
+class TestSpMV:
+    def test_user_directive_on_x(self):
+        program = spmv_program("tiny")
+        tags = analyze_program(program)[0]
+        x_tag = tags.body[2]
+        assert x_tag.temporal and not x_tag.spatial
+
+    def test_index_and_matrix_untagged_temporal(self):
+        program = spmv_program("tiny")
+        tags = analyze_program(program)[0]
+        for position in (0, 1):  # Index, A
+            assert not tags.body[position].temporal
+            assert tags.body[position].spatial
+
+    def test_deterministic_structure(self):
+        a = spmv_program("tiny", seed=1)
+        b = spmv_program("tiny", seed=1)
+        assert (
+            a.items[0].body[2].indirect == b.items[0].body[2].indirect
+        )
+
+
+class TestPerfect:
+    @pytest.mark.parametrize("code", KERNEL_ORDER)
+    def test_kernels_fully_tagged(self, code):
+        kernel = perfect_kernel(code, "tiny")
+        trace = generate_trace(kernel, seed=0)
+        profile = tag_profile(trace)
+        # Manual instrumentation: no CALL bodies, no scalar noise.
+        assert profile.untagged_fraction < 0.7
+        full = generate_trace(perfect_program(code, "tiny"), seed=0)
+        full_profile = tag_profile(full)
+        assert profile.untagged_fraction <= full_profile.untagged_fraction
+
+    def test_full_codes_have_untagged_share(self):
+        trace = generate_trace(perfect_program("MDG", "tiny"), seed=0)
+        assert tag_profile(trace).untagged_fraction > 0.3
+
+    def test_dyf_temporal_heavy(self):
+        trace = generate_trace(perfect_program("DYF", "tiny"), seed=0)
+        profile = tag_profile(trace)
+        assert profile.temporal_fraction > 0.3
+
+    def test_trf_spatial_heavy(self):
+        trace = generate_trace(perfect_program("TRF", "tiny"), seed=0)
+        profile = tag_profile(trace)
+        assert profile.spatial_fraction > profile.temporal_fraction
+
+    def test_unknown_code(self):
+        with pytest.raises(ConfigError):
+            perfect_program("XYZ")
+        with pytest.raises(ConfigError):
+            perfect_kernel("XYZ")
+
+
+class TestBlocked:
+    def test_block_must_tile(self):
+        with pytest.raises(ConfigError):
+            blocked_mv_program(7, "tiny")  # 120 % 7 != 0
+
+    def test_block_sizes_tile_paper_vector(self):
+        for block in FIG11A_BLOCK_SIZES:
+            blocked_mv_program(block, "paper")  # must not raise
+
+    def test_blocked_mv_reference_count(self):
+        program = blocked_mv_program(10, "tiny")
+        trace = generate_trace(program)
+        assert len(trace) == program.references
+
+    def test_mm_leading_dim_bounds(self):
+        with pytest.raises(ConfigError):
+            blocked_mm_program(10, copying=False, scale="tiny")
+
+    def test_mm_copy_adds_copy_phase(self):
+        no_copy = blocked_mm_program(116, copying=False, scale="tiny")
+        copy = blocked_mm_program(116, copying=True, scale="tiny")
+        assert len(copy.items) == len(no_copy.items) + 1
+
+    def test_mm_compute_reads_local_array_when_copying(self):
+        copy = blocked_mm_program(116, copying=True, scale="tiny")
+        compute = copy.items[-1]
+        assert compute.body[0].array == "LA"
+
+    def test_fig11b_dims(self):
+        assert FIG11B_LEADING_DIMS == tuple(range(116, 127))

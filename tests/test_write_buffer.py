@@ -1,0 +1,73 @@
+"""Tests for the write buffer model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import WriteBuffer
+
+
+class TestValidation:
+    def test_negative_entries(self):
+        with pytest.raises(ConfigError):
+            WriteBuffer(-1, 2)
+
+    def test_zero_drain(self):
+        with pytest.raises(ConfigError):
+            WriteBuffer(4, 0)
+
+
+class TestPushAndDrain:
+    def test_push_without_pressure_is_free(self):
+        wb = WriteBuffer(2, drain_cycles=4)
+        assert wb.push(now=0) == 0
+        assert wb.occupancy == 1
+
+    def test_sequential_drain_times(self):
+        wb = WriteBuffer(4, drain_cycles=4)
+        wb.push(0)
+        wb.push(0)  # queues behind the first: drains at 8
+        wb.advance(7)
+        assert wb.occupancy == 1
+        wb.advance(8)
+        assert wb.occupancy == 0
+
+    def test_full_buffer_stalls(self):
+        wb = WriteBuffer(1, drain_cycles=5)
+        assert wb.push(0) == 0
+        stall = wb.push(0)  # must wait for the first to drain at t=5
+        assert stall == 5
+        assert wb.stall_cycles == 5
+
+    def test_stall_accounts_elapsed_time(self):
+        wb = WriteBuffer(1, drain_cycles=5)
+        wb.push(0)
+        assert wb.push(3) == 2  # only 2 cycles left of the drain
+
+    def test_drained_entries_free_slots(self):
+        wb = WriteBuffer(1, drain_cycles=5)
+        wb.push(0)
+        assert wb.push(10) == 0  # first entry long gone
+
+    def test_zero_entry_buffer_synchronous(self):
+        wb = WriteBuffer(0, drain_cycles=6)
+        assert wb.push(0) == 6
+        assert wb.is_full(0)
+
+    def test_is_full(self):
+        wb = WriteBuffer(1, drain_cycles=5)
+        assert not wb.is_full(0)
+        wb.push(0)
+        assert wb.is_full(0)
+        assert not wb.is_full(5)
+
+    def test_pushes_counted(self):
+        wb = WriteBuffer(4, 2)
+        wb.push(0)
+        wb.push(0)
+        assert wb.pushes == 2
+
+    def test_reset(self):
+        wb = WriteBuffer(2, 2)
+        wb.push(0)
+        wb.reset()
+        assert wb.occupancy == 0 and wb.pushes == 0 and wb.stall_cycles == 0
