@@ -1,0 +1,30 @@
+# Developer entry points.  The tier-1 gate is `make test`.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-serial lint bench figures clean-cache
+
+# Tier-1: the unit/integration/property suite.  REPRO_JOBS=2 keeps the
+# process-pool path (and spec pickling) exercised on every run;
+# -p no:cacheprovider avoids .pytest_cache churn in CI.
+test:
+	REPRO_JOBS=2 $(PYTHON) -m pytest -x -q -p no:cacheprovider
+
+# The strict serial path (bit-identical reference behaviour).
+test-serial:
+	REPRO_JOBS=1 $(PYTHON) -m pytest -x -q -p no:cacheprovider
+
+# Lint ratchet (see [tool.ruff] in pyproject.toml): full ruleset over
+# src/repro/harness/, grandfathered ignores elsewhere.
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro run all
+
+clean-cache:
+	$(PYTHON) -m repro cache clear

@@ -7,9 +7,16 @@ regenerated table so a benchmark run doubles as an experiment report.
 Scale selection: ``--figure-scale=paper`` reproduces the evaluation at
 full size (minutes); the default ``test`` scale keeps the whole battery
 in CI territory while preserving every qualitative shape.
+
+Parallelism: ``--figure-jobs=N`` forwards to the sweep engine
+(``REPRO_JOBS``), so benchmark timings can be taken serial or parallel.
+The on-disk result cache is disabled for every benchmark process —
+a timing run must measure simulation, not JSON reads.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -22,11 +29,33 @@ def pytest_addoption(parser):
         choices=("tiny", "test", "paper"),
         help="workload scale for figure benchmarks",
     )
+    parser.addoption(
+        "--figure-jobs",
+        action="store",
+        default=None,
+        help="worker processes for sweep grids (0 = all cores)",
+    )
+
+
+def pytest_configure(config):
+    # Timings must reflect simulation work, never cached results.
+    os.environ["REPRO_CACHE"] = "0"
+    jobs = config.getoption("--figure-jobs")
+    if jobs is not None:
+        os.environ["REPRO_JOBS"] = str(jobs)
 
 
 @pytest.fixture(scope="session")
 def figure_scale(request):
     return request.config.getoption("--figure-scale")
+
+
+@pytest.fixture(scope="session")
+def config_registry():
+    """The named CacheSpec registry the CLI exposes (repro.presets)."""
+    from repro.presets import SPECS
+
+    return SPECS
 
 
 @pytest.fixture

@@ -1,0 +1,21 @@
+"""One benchmark trace across every named configuration in the registry.
+
+This is the `python -m repro simulate --config all` path: a single-row
+sweep grid over ``repro.presets.SPECS``, and the broadest single-trace
+workout of the spec-dispatch machinery.
+"""
+
+from repro.harness.runner import run_sweep
+from repro.workloads.registry import get_trace
+
+
+def test_registry_sweep(benchmark, figure_scale, config_registry):
+    trace = get_trace("MV", figure_scale)
+
+    def run():
+        return run_sweep({"MV": trace}, config_registry, cache=None)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert list(sweep.config_order) == list(config_registry)
+    print()
+    print(sweep.table())

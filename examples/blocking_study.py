@@ -13,7 +13,8 @@ Two experiments:
 Run:  python examples/blocking_study.py
 """
 
-from repro import presets, simulate
+from repro import simulate
+from repro.core import presets
 from repro.harness import format_table
 from repro.workloads import get_blocked_mm_trace, get_blocked_mv_trace
 

@@ -1,4 +1,4 @@
-"""Design-space exploration with SoftCacheConfig.
+"""Design-space exploration with CacheSpec.derive and run_sweep.
 
 Every paper configuration is a flag combination on one model, so
 sweeping the hardware design space is a few lines: this script grids
@@ -6,11 +6,16 @@ sweeping the hardware design space is a few lines: this script grids
 geomean AMAT per design point — the kind of study a cache architect
 would run before committing gates.
 
+The grid goes through the sweep engine: declarative ``CacheSpec``
+columns, a process pool (``jobs=0`` = all cores), and the on-disk
+result cache, so re-running after editing the grid only simulates the
+new design points.
+
 Run:  python examples/design_space.py
 """
 
-from repro import SoftCacheConfig, SoftwareAssistedCache, simulate
-from repro.harness import format_table
+from repro import CacheSpec
+from repro.harness import format_table, run_sweep
 from repro.metrics import geometric_mean
 from repro.workloads import suite_traces
 
@@ -23,20 +28,26 @@ def label_vl(vl):
 
 
 def main() -> None:
-    traces = suite_traces("paper")
+    base = CacheSpec.of("soft_config")
+    configs = {
+        f"BB={bb}|{label_vl(vl)}": base.derive(
+            bounce_back_lines=bb,
+            virtual_line_size=vl,
+            use_temporal=bb > 0,
+        )
+        for bb in BOUNCE_BACK_LINES
+        for vl in VIRTUAL_LINES
+    }
+    sweep = run_sweep(suite_traces("paper"), configs, jobs=0)
+
     rows = {}
     best = (None, float("inf"))
     for bb in BOUNCE_BACK_LINES:
         cells = {}
         for vl in VIRTUAL_LINES:
-            config = SoftCacheConfig(
-                bounce_back_lines=bb,
-                virtual_line_size=vl,
-                use_temporal=bb > 0,
-            )
+            column = f"BB={bb}|{label_vl(vl)}"
             amats = [
-                simulate(SoftwareAssistedCache(config), trace).amat
-                for trace in traces.values()
+                row[column].amat for row in sweep.results.values()
             ]
             score = geometric_mean(amats)
             cells[label_vl(vl)] = score

@@ -8,7 +8,8 @@ and virtual lines (spatial) — and shows where each cycle goes.
 Run:  python examples/matrix_vector_study.py
 """
 
-from repro import presets, simulate
+from repro import simulate
+from repro.core import presets
 from repro.harness import format_table
 from repro.workloads import get_trace
 

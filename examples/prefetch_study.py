@@ -8,7 +8,8 @@ latency sensitivity the paper discusses.
 Run:  python examples/prefetch_study.py
 """
 
-from repro import presets, simulate
+from repro import simulate
+from repro.core import presets
 from repro.harness import format_table
 from repro.sim import MemoryTiming
 from repro.workloads import BENCHMARK_ORDER, suite_traces

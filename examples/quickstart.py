@@ -7,7 +7,7 @@ the instrumented trace, and compares the two cache designs.
 Run:  python examples/quickstart.py
 """
 
-from repro import presets, simulate
+from repro import CacheSpec, simulate
 from repro.compiler import (
     Array,
     ArrayRef,
@@ -50,8 +50,8 @@ def main() -> None:
     trace = generate_trace(program, seed=42)
     print(f"\nInstrumented trace: {len(trace)} references")
 
-    standard = simulate(presets.standard(), trace)
-    soft = simulate(presets.soft(), trace)
+    standard = simulate(CacheSpec.of("standard").build(), trace)
+    soft = simulate(CacheSpec.of("soft").build(), trace)
 
     print(f"\n{'':>12}  {'AMAT':>7}  {'miss %':>7}  {'words/ref':>9}")
     for label, r in (("Standard", standard), ("Soft", soft)):

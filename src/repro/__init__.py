@@ -22,10 +22,11 @@ Quick start::
 from .core import (
     PAPER_SOFT,
     PAPER_STANDARD,
+    CacheSpec,
     SoftCacheConfig,
     SoftwareAssistedCache,
-    presets,
 )
+from . import presets
 from .errors import (
     CompilerError,
     ConfigError,
@@ -50,6 +51,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # core
+    "CacheSpec",
     "SoftCacheConfig",
     "SoftwareAssistedCache",
     "PAPER_SOFT",

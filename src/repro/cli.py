@@ -14,37 +14,44 @@ trace
     Generate a benchmark trace and save it to an ``.npz`` file.
 attribute
     Per-instruction miss attribution of a benchmark (top offenders).
+cache
+    Inspect or clear the on-disk result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from . import presets
+from .core.spec import CacheSpec
 from .errors import ReproError
+from .harness.parallel import ResultCache, cache_enabled, default_cache_dir
+from .harness.runner import run_sweep
 from .harness.tables import format_table
 from .memtrace.io import save_trace
 from .metrics.attribution import attribute as attribute_misses
-from .sim.driver import simulate
+from .presets import SPECS, build_config
 from .workloads.registry import BENCHMARK_ORDER, build_program, get_trace
 
-#: Cache configurations selectable from the command line.
-CONFIGS: Dict[str, Callable] = {
-    "standard": presets.standard,
-    "victim": presets.victim,
-    "temporal": presets.soft_temporal_only,
-    "spatial": presets.soft_spatial_only,
-    "soft": presets.soft,
-    "bypass": presets.bypass,
-    "bypass-buffer": presets.bypass_buffered,
-    "standard-prefetch": presets.standard_prefetch,
-    "soft-prefetch": presets.soft_prefetch,
-    "temporal-priority": presets.temporal_priority,
-}
+#: Cache configurations selectable from the command line.  The name is
+#: kept for backwards compatibility; the values are now declarative
+#: :class:`~repro.core.spec.CacheSpec` objects from :mod:`repro.presets`.
+CONFIGS: Dict[str, CacheSpec] = SPECS
 
 SCALES = ("tiny", "test", "paper")
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweeps (0 = all cores; "
+        "default: $REPRO_JOBS or 1)",
+    )
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -62,6 +69,7 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", choices=SCALES, default="paper")
     run.add_argument("--chart", action="store_true",
                      help="render ASCII bar charts instead of tables")
+    _add_jobs_argument(run)
 
     sim = sub.add_parser("simulate", help="simulate a benchmark")
     sim.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
@@ -70,6 +78,7 @@ def _parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--scale", choices=SCALES, default="paper")
     sim.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(sim)
 
     tags = sub.add_parser("tags", help="show compiler locality tags")
     tags.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
@@ -86,6 +95,11 @@ def _parser() -> argparse.ArgumentParser:
     attr.add_argument("--config", default="standard", choices=list(CONFIGS))
     attr.add_argument("--scale", choices=SCALES, default="paper")
     attr.add_argument("--top", type=int, default=10)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument(
+        "action", nargs="?", default="info", choices=("info", "clear")
+    )
     return parser
 
 
@@ -101,9 +115,16 @@ def _cmd_figures() -> int:
     return 0
 
 
-def _cmd_run(names: List[str], scale: str, chart: bool = False) -> int:
+def _cmd_run(
+    names: List[str], scale: str, chart: bool = False,
+    jobs: Optional[int] = None,
+) -> int:
     from .experiments import ALL_FIGURES, EXTENSION_STUDIES
 
+    if jobs is not None:
+        # Figure drivers have heterogeneous signatures; the environment
+        # knob reaches every run_sweep call they make.
+        os.environ["REPRO_JOBS"] = str(jobs)
     battery = {**ALL_FIGURES, **EXTENSION_STUDIES}
     wanted = list(battery) if names == ["all"] else names
     unknown = [n for n in wanted if n not in battery]
@@ -117,12 +138,15 @@ def _cmd_run(names: List[str], scale: str, chart: bool = False) -> int:
     return 0
 
 
-def _cmd_simulate(benchmark: str, config: str, scale: str, seed: int) -> int:
+def _cmd_simulate(
+    benchmark: str, config: str, scale: str, seed: int,
+    jobs: Optional[int] = None,
+) -> int:
     trace = get_trace(benchmark, scale, seed)
-    chosen = CONFIGS if config == "all" else {config: CONFIGS[config]}
+    chosen = dict(CONFIGS) if config == "all" else {config: CONFIGS[config]}
+    sweep = run_sweep({benchmark: trace}, chosen, jobs=jobs)
     rows = {}
-    for label, factory in chosen.items():
-        r = simulate(factory(), trace)
+    for label, r in sweep.results[benchmark].items():
         rows[label] = {
             "AMAT": r.amat,
             "miss %": 100 * r.miss_ratio,
@@ -152,7 +176,7 @@ def _cmd_trace(benchmark: str, scale: str, seed: int, out: str) -> int:
 
 def _cmd_attribute(benchmark: str, config: str, scale: str, top: int) -> int:
     trace = get_trace(benchmark, scale)
-    result = attribute_misses(CONFIGS[config]() , trace)
+    result = attribute_misses(build_config(config), trace)
     print(
         f"{benchmark} on {config}: {result.total_misses} misses from "
         f"{result.static_instructions} static load/stores; "
@@ -171,16 +195,27 @@ def _cmd_attribute(benchmark: str, config: str, scale: str, top: int) -> int:
     return 0
 
 
+def _cmd_cache(action: str) -> int:
+    cache = ResultCache(default_cache_dir())
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    state = "enabled" if cache_enabled() else "disabled (REPRO_CACHE=0)"
+    print(f"result cache: {cache.root} ({len(cache)} entries, {state})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     try:
         if args.command == "figures":
             return _cmd_figures()
         if args.command == "run":
-            return _cmd_run(args.names, args.scale, args.chart)
+            return _cmd_run(args.names, args.scale, args.chart, args.jobs)
         if args.command == "simulate":
             return _cmd_simulate(
-                args.benchmark, args.config, args.scale, args.seed
+                args.benchmark, args.config, args.scale, args.seed, args.jobs
             )
         if args.command == "tags":
             return _cmd_tags(args.benchmark, args.scale)
@@ -190,6 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_attribute(
                 args.benchmark, args.config, args.scale, args.top
             )
+        if args.command == "cache":
+            return _cmd_cache(args.action)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -5,6 +5,7 @@ from .assist_hp import HPAssistCache
 from .bounce_back import BounceBackBuffer, make_entry
 from .config import PAPER_SOFT, PAPER_STANDARD, SoftCacheConfig
 from .software_cache import SoftwareAssistedCache
+from .spec import CacheSpec, register_kind, registered_kinds
 
 __all__ = [
     "SoftCacheConfig",
@@ -15,4 +16,7 @@ __all__ = [
     "BounceBackBuffer",
     "make_entry",
     "presets",
+    "CacheSpec",
+    "register_kind",
+    "registered_kinds",
 ]

@@ -3,6 +3,12 @@
 Each function returns a fresh model; all accept the shared knobs
 (``size_bytes``, ``line_size``, ``ways``, ``timing``) so the sweeps of
 figures 8-10 are one-liners.
+
+Every factory here is also registered as a :class:`~repro.core.spec
+.CacheSpec` *kind* (see the bottom of this module), which is the
+picklable, cache-fingerprintable form the sweep engine works with.
+Prefer building models through specs (``CacheSpec.of("soft").build()``
+or the named registry in :mod:`repro.presets`) in new code.
 """
 
 from __future__ import annotations
@@ -10,11 +16,16 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim.bypass import BypassCache
+from ..sim.column_assoc import ColumnAssociativeCache
 from ..sim.geometry import CacheGeometry
 from ..sim.standard import StandardCache
+from ..sim.stream_buffer import StreamBufferCache
+from ..sim.subblock import SubBlockCache
 from ..sim.timing import MemoryTiming
+from .assist_hp import HPAssistCache
 from .config import SoftCacheConfig
 from .software_cache import SoftwareAssistedCache
+from .spec import register_kind
 
 __all__ = [
     "standard",
@@ -28,6 +39,12 @@ __all__ = [
     "temporal_priority",
     "soft_prefetch",
     "standard_prefetch",
+    "soft_config",
+    "column_assoc",
+    "stream_buffer",
+    "hp_assist",
+    "subblock",
+    "with_l2",
 ]
 
 
@@ -39,11 +56,16 @@ def standard_cache(
     size_bytes: int = 8 * 1024,
     line_size: int = 32,
     ways: int = 1,
+    write_policy: str = "write-back",
+    write_allocate: bool = True,
     timing: Optional[MemoryTiming] = None,
 ) -> StandardCache:
     """The independently implemented Standard baseline (cross-validation)."""
     return StandardCache(
-        CacheGeometry(size_bytes, line_size, ways), _timing(timing)
+        CacheGeometry(size_bytes, line_size, ways),
+        _timing(timing),
+        write_policy=write_policy,
+        write_allocate=write_allocate,
     )
 
 
@@ -246,3 +268,97 @@ def standard_prefetch(
         timing=_timing(timing),
     )
     return SoftwareAssistedCache(config, name=f"Stand+Pf {config.label()}")
+
+
+def soft_config(**params) -> SoftwareAssistedCache:
+    """Raw :class:`SoftCacheConfig` passthrough (the ablation sweeps)."""
+    return SoftwareAssistedCache(SoftCacheConfig(**params))
+
+
+def column_assoc(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    timing: Optional[MemoryTiming] = None,
+) -> ColumnAssociativeCache:
+    """Column-associative cache (Agarwal & Pudar, paper section 5)."""
+    return ColumnAssociativeCache(
+        CacheGeometry(size_bytes, line_size, 1), _timing(timing)
+    )
+
+
+def stream_buffer(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    n_buffers: int = 4,
+    depth: int = 4,
+    timing: Optional[MemoryTiming] = None,
+) -> StreamBufferCache:
+    """Jouppi stream buffers in front of a plain cache (section 5)."""
+    return StreamBufferCache(
+        CacheGeometry(size_bytes, line_size, ways),
+        _timing(timing),
+        n_buffers=n_buffers,
+        depth=depth,
+    )
+
+
+def hp_assist(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 32,
+    ways: int = 1,
+    assist_lines: int = 8,
+    timing: Optional[MemoryTiming] = None,
+) -> HPAssistCache:
+    """HP-7200 style assist cache (buffer *before* the main cache)."""
+    return HPAssistCache(
+        CacheGeometry(size_bytes, line_size, ways),
+        _timing(timing),
+        assist_lines=assist_lines,
+    )
+
+
+def with_l2(
+    inner: str = "standard",
+    l2_size: int = 256 * 1024,
+    l2_line: int = 64,
+    l2_ways: int = 4,
+    l2_hit_latency: int = 4,
+    memory_extra: int = 16,
+):
+    """An L1 built by the ``inner`` factory, backed by a unified L2.
+
+    The L1 sees the L2 hit latency as its "memory"; an L2 miss adds
+    ``memory_extra`` cycles for the full DRAM trip (hierarchy study).
+    """
+    from ..sim.hierarchy import TwoLevelCache
+
+    factory = globals()[inner]
+    l1 = factory(timing=MemoryTiming(latency=l2_hit_latency))
+    return TwoLevelCache(
+        l1, CacheGeometry(l2_size, l2_line, l2_ways), memory_extra
+    )
+
+
+def subblock(
+    size_bytes: int = 8 * 1024,
+    line_size: int = 64,
+    ways: int = 1,
+    sub_block: int = 32,
+    timing: Optional[MemoryTiming] = None,
+) -> SubBlockCache:
+    """Sectored (sub-block placement) cache, the section 2.1 contrast."""
+    return SubBlockCache(
+        CacheGeometry(size_bytes, line_size, ways),
+        sub_block=sub_block,
+        timing=_timing(timing),
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec kinds: every factory above, addressable by name so sweeps can
+# ship picklable CacheSpec objects to worker processes.
+# ----------------------------------------------------------------------
+for _name in __all__:
+    register_kind(_name, globals()[_name])
+del _name

@@ -19,79 +19,83 @@ and reports AMAT across the suite:
 
 from __future__ import annotations
 
-from functools import partial
-from typing import Sequence
-
-from ..core.config import SoftCacheConfig
-from ..core.software_cache import SoftwareAssistedCache
+from ..core.spec import CacheSpec
 from ..harness.runner import run_sweep
 from ..workloads.registry import suite_traces
-from .common import FigureResult
+from .common import ExperimentSpec, FigureResult, run_experiment
 
 BB_SIZES = (4, 8, 16, 32)
 
 
-def _soft(**changes) -> SoftwareAssistedCache:
-    return SoftwareAssistedCache(SoftCacheConfig().derive(**changes))
+def _soft_spec(**changes) -> CacheSpec:
+    """The paper's full Soft configuration with ablated knobs."""
+    return CacheSpec.of("soft_config", **changes)
 
 
-def _run(configs, title: str, figure: str, scale: str, seed: int) -> FigureResult:
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure=figure, title=title, series=list(configs), metric="AMAT (cycles)"
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+ABLATION_SPECS = {
+    "ablation-bbsize": ExperimentSpec.create(
+        "ablation-bbsize",
+        "Bounce-back cache size",
+        {
+            f"{lines} lines": _soft_spec(bounce_back_lines=lines)
+            for lines in BB_SIZES
+        },
+    ),
+    "ablation-bbassoc": ExperimentSpec.create(
+        "ablation-bbassoc",
+        "Bounce-back cache associativity",
+        {
+            "fully assoc": _soft_spec(bounce_back_ways=0),
+            "4-way": _soft_spec(bounce_back_lines=16, bounce_back_ways=4),
+        },
+    ),
+    "ablation-admission": ExperimentSpec.create(
+        "ablation-admission",
+        "Bounce-back admission policy",
+        {
+            "admit all victims": _soft_spec(admit_non_temporal=True),
+            "temporal victims only": _soft_spec(admit_non_temporal=False),
+        },
+    ),
+    "ablation-reset": ExperimentSpec.create(
+        "ablation-reset",
+        "Temporal-bit reset after bounce",
+        {
+            "reset on bounce": _soft_spec(reset_temporal_on_bounce=True),
+            "no reset": _soft_spec(reset_temporal_on_bounce=False),
+        },
+    ),
+    "ablation-physline": ExperimentSpec.create(
+        "ablation-physline",
+        "Physical line size under software assistance",
+        {
+            "LS=16B": _soft_spec(line_size=16, virtual_line_size=64),
+            "LS=32B": _soft_spec(line_size=32, virtual_line_size=64),
+        },
+    ),
+}
 
 
 def bounce_back_size(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Bounce-back cache size sweep (paper default: 8 lines / 256 B)."""
-    configs = {
-        f"{lines} lines": partial(_soft, bounce_back_lines=lines)
-        for lines in BB_SIZES
-    }
-    return _run(
-        configs, "Bounce-back cache size", "ablation-bbsize", scale, seed
-    )
+    return run_experiment(ABLATION_SPECS["ablation-bbsize"], scale=scale, seed=seed)
 
 
 def bounce_back_associativity(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Fully associative vs 4-way bounce-back cache."""
-    configs = {
-        "fully assoc": partial(_soft, bounce_back_ways=0),
-        "4-way": partial(_soft, bounce_back_lines=16, bounce_back_ways=4),
-    }
-    return _run(
-        configs,
-        "Bounce-back cache associativity",
-        "ablation-bbassoc",
-        scale,
-        seed,
-    )
+    return run_experiment(ABLATION_SPECS["ablation-bbassoc"], scale=scale, seed=seed)
 
 
 def admission_policy(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Victim-for-all admission vs temporal-only admission."""
-    configs = {
-        "admit all victims": partial(_soft, admit_non_temporal=True),
-        "temporal victims only": partial(_soft, admit_non_temporal=False),
-    }
-    return _run(
-        configs, "Bounce-back admission policy", "ablation-admission", scale, seed
+    return run_experiment(
+        ABLATION_SPECS["ablation-admission"], scale=scale, seed=seed
     )
 
 
 def temporal_reset(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Dynamic adjustment: reset the temporal bit after bouncing."""
-    configs = {
-        "reset on bounce": partial(_soft, reset_temporal_on_bounce=True),
-        "no reset": partial(_soft, reset_temporal_on_bounce=False),
-    }
-    return _run(
-        configs, "Temporal-bit reset after bounce", "ablation-reset", scale, seed
-    )
+    return run_experiment(ABLATION_SPECS["ablation-reset"], scale=scale, seed=seed)
 
 
 def write_policy(scale: str = "paper", seed: int = 0) -> FigureResult:
@@ -102,20 +106,14 @@ def write_policy(scale: str = "paper", seed: int = 0) -> FigureResult:
     codes update arrays in place, and write-through multiplies the
     write traffic without buying misses.
     """
-    from ..sim.geometry import CacheGeometry
-    from ..sim.standard import StandardCache
-
-    def cache(policy: str, allocate: bool = True) -> StandardCache:
-        return StandardCache(
-            CacheGeometry(8 * 1024, 32, 1),
-            write_policy=policy,
-            write_allocate=allocate,
-        )
-
     configs = {
-        "write-back": partial(cache, "write-back"),
-        "write-through": partial(cache, "write-through"),
-        "write-through, no-allocate": partial(cache, "write-through", False),
+        "write-back": CacheSpec.of("standard_cache", write_policy="write-back"),
+        "write-through": CacheSpec.of(
+            "standard_cache", write_policy="write-through"
+        ),
+        "write-through, no-allocate": CacheSpec.of(
+            "standard_cache", write_policy="write-through", write_allocate=False
+        ),
     }
     sweep = run_sweep(suite_traces(scale, seed), configs)
     result = FigureResult(
@@ -137,16 +135,8 @@ def write_policy(scale: str = "paper", seed: int = 0) -> FigureResult:
 
 def physical_line(scale: str = "paper", seed: int = 0) -> FigureResult:
     """16 B vs 32 B physical lines under software assistance."""
-    configs = {
-        "LS=16B": partial(_soft, line_size=16, virtual_line_size=64),
-        "LS=32B": partial(_soft, line_size=32, virtual_line_size=64),
-    }
-    return _run(
-        configs,
-        "Physical line size under software assistance",
-        "ablation-physline",
-        scale,
-        seed,
+    return run_experiment(
+        ABLATION_SPECS["ablation-physline"], scale=scale, seed=seed
     )
 
 

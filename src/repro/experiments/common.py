@@ -3,13 +3,21 @@
 Every driver returns a :class:`FigureResult` — a named grid of series
 values — so the benchmark harness and EXPERIMENTS.md generation can
 treat all nineteen figures uniformly.
+
+Drivers whose figure is a plain (benchmark x configuration) grid are
+*declared* rather than coded: an :class:`ExperimentSpec` names the
+figure, the benchmarks, the configurations (as picklable
+:class:`~repro.core.spec.CacheSpec` objects) and the metric, and
+:func:`run_experiment` turns it into a :class:`FigureResult` through the
+parallel cached sweep engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..core.spec import CacheSpec
 from ..harness.tables import format_table
 
 
@@ -62,3 +70,112 @@ class FigureResult:
 
     def __str__(self) -> str:
         return self.table()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one grid experiment.
+
+    ``configs`` is an ordered tuple of ``(series name, CacheSpec)``
+    pairs; ``benchmarks`` is a tuple of registered benchmark names (empty
+    = the paper's full nine-benchmark suite).  The spec itself is frozen
+    and picklable, so whole experiments can be shipped, compared and
+    round-tripped like cache specs.
+    """
+
+    figure: str
+    title: str
+    configs: Tuple[Tuple[str, CacheSpec], ...]
+    metric: str = "amat"
+    metric_label: str = "AMAT (cycles)"
+    benchmarks: Tuple[str, ...] = ()
+    notes: str = ""
+
+    @classmethod
+    def create(
+        cls,
+        figure: str,
+        title: str,
+        configs: Mapping[str, CacheSpec],
+        metric: str = "amat",
+        metric_label: str = "AMAT (cycles)",
+        benchmarks: Sequence[str] = (),
+        notes: str = "",
+    ) -> "ExperimentSpec":
+        return cls(
+            figure=figure,
+            title=title,
+            configs=tuple(configs.items()),
+            metric=metric,
+            metric_label=metric_label,
+            benchmarks=tuple(benchmarks),
+            notes=notes,
+        )
+
+    def config_map(self) -> Dict[str, CacheSpec]:
+        return dict(self.configs)
+
+    def series(self) -> List[str]:
+        return [name for name, _ in self.configs]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "metric": self.metric,
+            "metric_label": self.metric_label,
+            "benchmarks": list(self.benchmarks),
+            "notes": self.notes,
+            "configs": [
+                {"name": name, "spec": spec.to_dict()}
+                for name, spec in self.configs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentSpec":
+        return cls(
+            figure=payload["figure"],
+            title=payload["title"],
+            metric=payload.get("metric", "amat"),
+            metric_label=payload.get("metric_label", "AMAT (cycles)"),
+            benchmarks=tuple(payload.get("benchmarks", ())),
+            notes=payload.get("notes", ""),
+            configs=tuple(
+                (entry["name"], CacheSpec.from_dict(entry["spec"]))
+                for entry in payload["configs"]
+            ),
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    scale: str = "paper",
+    seed: int = 0,
+    jobs: Union[int, str, None] = None,
+    cache: Any = "auto",
+    traces: Optional[Mapping[str, Any]] = None,
+) -> FigureResult:
+    """Run one declared experiment through the sweep engine.
+
+    ``traces`` overrides the benchmark registry (used by studies whose
+    rows are synthetic traces rather than suite benchmarks).
+    """
+    from ..harness.runner import run_sweep
+    from ..workloads.registry import BENCHMARK_ORDER, get_trace
+
+    if traces is None:
+        names = spec.benchmarks or BENCHMARK_ORDER
+        traces = {name: get_trace(name, scale, seed) for name in names}
+    sweep = run_sweep(traces, spec.config_map(), jobs=jobs, cache=cache)
+    result = FigureResult(
+        figure=spec.figure,
+        title=spec.title,
+        series=spec.series(),
+        metric=spec.metric_label,
+        notes=spec.notes,
+    )
+    for bench, row in sweep.metric(spec.metric).items():
+        for config, value in row.items():
+            result.add(bench, config, value)
+    return result

@@ -11,53 +11,39 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from ..core.spec import CacheSpec
+from .common import ExperimentSpec, FigureResult, run_experiment
 
-from ..core import presets
-from ..harness.runner import run_sweep
-from ..workloads.registry import suite_traces
-from .common import FigureResult
+FIG3A = ExperimentSpec.create(
+    "fig3a",
+    "Efficiency of bypassing",
+    {
+        "Standard": CacheSpec.of("standard"),
+        "Bypass": CacheSpec.of("bypass"),
+        "Bypass buffer": CacheSpec.of("bypass_buffered"),
+        "Soft": CacheSpec.of("soft"),
+    },
+)
+
+FIG3B = ExperimentSpec.create(
+    "fig3b",
+    "Efficiency of victim caches",
+    {
+        "Standard": CacheSpec.of("standard"),
+        "Stand.+Victim": CacheSpec.of("victim"),
+        "Soft": CacheSpec.of("soft"),
+    },
+)
 
 
 def bypass_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 3a: AMAT of Standard / Bypass / Bypass-buffer / Soft."""
-    configs = {
-        "Standard": presets.standard,
-        "Bypass": presets.bypass,
-        "Bypass buffer": presets.bypass_buffered,
-        "Soft": presets.soft,
-    }
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="fig3a",
-        title="Efficiency of bypassing",
-        series=list(configs),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG3A, scale=scale, seed=seed)
 
 
 def victim_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 3b: AMAT of Standard / Standard+Victim / Soft."""
-    configs = {
-        "Standard": presets.standard,
-        "Stand.+Victim": presets.victim,
-        "Soft": presets.soft,
-    }
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="fig3b",
-        title="Efficiency of victim caches",
-        series=list(configs),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG3B, scale=scale, seed=seed)
 
 
 def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper

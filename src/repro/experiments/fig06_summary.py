@@ -12,46 +12,42 @@
 
 from __future__ import annotations
 
-from ..core import presets
+from ..core.spec import CacheSpec
 from ..harness.runner import run_sweep
-from ..sim.driver import simulate
 from ..workloads.registry import suite_traces
-from .common import FigureResult
+from .common import ExperimentSpec, FigureResult, run_experiment
 
 #: The four configurations of figures 6a / 7a / 7b, in paper order.
 SOFTWARE_CONTROL_CONFIGS = {
-    "Standard": presets.standard,
-    "Temp only": presets.soft_temporal_only,
-    "Spat only": presets.soft_spatial_only,
-    "Soft": presets.soft,
+    "Standard": CacheSpec.of("standard"),
+    "Temp only": CacheSpec.of("soft_temporal_only"),
+    "Spat only": CacheSpec.of("soft_spatial_only"),
+    "Soft": CacheSpec.of("soft"),
 }
+
+FIG6A = ExperimentSpec.create(
+    "fig6a", "Performance of software control", SOFTWARE_CONTROL_CONFIGS
+)
 
 
 def amat_breakdown(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 6a: AMAT under each flavour of software control."""
-    sweep = run_sweep(suite_traces(scale, seed), SOFTWARE_CONTROL_CONFIGS)
-    result = FigureResult(
-        figure="fig6a",
-        title="Performance of software control",
-        series=list(SOFTWARE_CONTROL_CONFIGS),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG6A, scale=scale, seed=seed)
 
 
 def hit_repartition(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 6b: fraction of hits served by main vs bounce-back cache."""
+    sweep = run_sweep(
+        suite_traces(scale, seed), {"Soft": CacheSpec.of("soft")}
+    )
     result = FigureResult(
         figure="fig6b",
         title="Repartition of cache hits (Soft configuration)",
         series=["main cache", "bounce-back cache"],
         metric="fraction of hits",
     )
-    for name, trace in suite_traces(scale, seed).items():
-        r = simulate(presets.soft(), trace)
+    for name, row in sweep.results.items():
+        r = row["Soft"]
         result.add(name, "main cache", r.main_hit_fraction)
         result.add(name, "bounce-back cache", r.assist_hit_fraction)
     return result

@@ -10,40 +10,34 @@
 
 from __future__ import annotations
 
-from ..harness.runner import run_sweep
-from ..workloads.registry import suite_traces
-from .common import FigureResult
+from .common import ExperimentSpec, FigureResult, run_experiment
 from .fig06_summary import SOFTWARE_CONTROL_CONFIGS
+
+FIG7A = ExperimentSpec.create(
+    "fig7a",
+    "Memory traffic",
+    SOFTWARE_CONTROL_CONFIGS,
+    metric="traffic",
+    metric_label="words fetched / references",
+)
+
+FIG7B = ExperimentSpec.create(
+    "fig7b",
+    "Miss ratio",
+    SOFTWARE_CONTROL_CONFIGS,
+    metric="miss_ratio",
+    metric_label="misses / references",
+)
 
 
 def traffic(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 7a: words fetched per reference."""
-    sweep = run_sweep(suite_traces(scale, seed), SOFTWARE_CONTROL_CONFIGS)
-    result = FigureResult(
-        figure="fig7a",
-        title="Memory traffic",
-        series=list(SOFTWARE_CONTROL_CONFIGS),
-        metric="words fetched / references",
-    )
-    for bench, row in sweep.metric("traffic").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG7A, scale=scale, seed=seed)
 
 
 def miss_ratios(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 7b: miss ratio under each flavour of software control."""
-    sweep = run_sweep(suite_traces(scale, seed), SOFTWARE_CONTROL_CONFIGS)
-    result = FigureResult(
-        figure="fig7b",
-        title="Miss ratio",
-        series=list(SOFTWARE_CONTROL_CONFIGS),
-        metric="misses / references",
-    )
-    for bench, row in sweep.metric("miss_ratio").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG7B, scale=scale, seed=seed)
 
 
 def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper

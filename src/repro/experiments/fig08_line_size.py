@@ -13,55 +13,43 @@
 
 from __future__ import annotations
 
-from functools import partial
-
-from ..core import presets
-from ..harness.runner import run_sweep
-from ..workloads.registry import suite_traces
-from .common import FigureResult
+from ..core.spec import CacheSpec
+from .common import ExperimentSpec, FigureResult, run_experiment
 
 #: The sweep points of both panels.
 VIRTUAL_LINE_SIZES = (32, 64, 128, 256)
 PHYSICAL_LINE_SIZES = (32, 64, 128, 256)
 
+FIG8A = ExperimentSpec.create(
+    "fig8a",
+    "Influence of virtual line size",
+    {
+        f"VL={vl}B": CacheSpec.of("soft", virtual_line_size=vl)
+        for vl in VIRTUAL_LINE_SIZES
+    },
+)
+
+FIG8B = ExperimentSpec.create(
+    "fig8b",
+    "Influence of physical line size",
+    {
+        **{
+            f"Stand {ls}B": CacheSpec.of("standard", line_size=ls)
+            for ls in PHYSICAL_LINE_SIZES
+        },
+        "Soft": CacheSpec.of("soft"),
+    },
+)
+
 
 def virtual_sweep(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 8a: AMAT vs virtual line size (physical line fixed at 32 B)."""
-    configs = {
-        f"VL={vl}B": partial(presets.soft, virtual_line_size=vl)
-        for vl in VIRTUAL_LINE_SIZES
-    }
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="fig8a",
-        title="Influence of virtual line size",
-        series=list(configs),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG8A, scale=scale, seed=seed)
 
 
 def physical_sweep(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 8b: AMAT vs physical line size on Standard, plus Soft."""
-    configs = {
-        f"Stand {ls}B": partial(presets.standard, line_size=ls)
-        for ls in PHYSICAL_LINE_SIZES
-    }
-    configs["Soft"] = presets.soft
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="fig8b",
-        title="Influence of physical line size",
-        series=list(configs),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG8B, scale=scale, seed=seed)
 
 
 def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper

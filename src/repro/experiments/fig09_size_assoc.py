@@ -14,14 +14,12 @@
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Dict, Tuple
 
-from ..core import presets
+from ..core.spec import CacheSpec
 from ..harness.runner import run_sweep
-from ..sim.driver import simulate
 from ..workloads.registry import suite_traces
-from .common import FigureResult
+from .common import ExperimentSpec, FigureResult, run_experiment
 
 #: Figure 9a's cache points: label -> (size_bytes, physical_line, virtual_line).
 FIG9A_CACHES: Dict[str, Tuple[int, int, int]] = {
@@ -31,49 +29,50 @@ FIG9A_CACHES: Dict[str, Tuple[int, int, int]] = {
     "Cs=64k, Ls=64": (64 * 1024, 64, 128),
 }
 
+FIG9B = ExperimentSpec.create(
+    "fig9b",
+    "Software control for set-associative caches",
+    {
+        "2-way": CacheSpec.of("standard", ways=2),
+        "2-way+victim": CacheSpec.of("victim", ways=2),
+        "Soft 2-way": CacheSpec.of("soft", ways=2),
+        "Simplified Soft 2-way": CacheSpec.of("temporal_priority"),
+    },
+)
+
 
 def cache_size_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 9a: % of misses removed, per cache size."""
+    # Both columns of every cache point go through one sweep, so the
+    # grid parallelises and caches like any other figure.
+    configs = {}
+    for label, (size, line, vline) in FIG9A_CACHES.items():
+        configs[f"{label} base"] = CacheSpec.of(
+            "standard", size_bytes=size, line_size=line
+        )
+        configs[f"{label} soft"] = CacheSpec.of(
+            "soft", size_bytes=size, line_size=line, virtual_line_size=vline
+        )
+    sweep = run_sweep(suite_traces(scale, seed), configs)
     result = FigureResult(
         figure="fig9a",
         title="Software control for large caches",
         series=list(FIG9A_CACHES),
         metric="% of misses removed",
     )
-    for name, trace in suite_traces(scale, seed).items():
-        for label, (size, line, vline) in FIG9A_CACHES.items():
-            base = simulate(
-                presets.standard(size_bytes=size, line_size=line), trace
+    for name, row in sweep.results.items():
+        for label in FIG9A_CACHES:
+            result.add(
+                name,
+                label,
+                row[f"{label} soft"].misses_removed_vs(row[f"{label} base"]),
             )
-            soft = simulate(
-                presets.soft(
-                    size_bytes=size, line_size=line, virtual_line_size=vline
-                ),
-                trace,
-            )
-            result.add(name, label, soft.misses_removed_vs(base))
     return result
 
 
 def associativity_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 9b: AMAT of the 2-way variants."""
-    configs = {
-        "2-way": partial(presets.standard, ways=2),
-        "2-way+victim": partial(presets.victim, ways=2),
-        "Soft 2-way": partial(presets.soft, ways=2),
-        "Simplified Soft 2-way": presets.temporal_priority,
-    }
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="fig9b",
-        title="Software control for set-associative caches",
-        series=list(configs),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG9B, scale=scale, seed=seed)
 
 
 def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper

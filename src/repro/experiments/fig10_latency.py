@@ -14,48 +14,51 @@
 
 from __future__ import annotations
 
-from typing import Dict
-
-from ..core import presets
-from ..sim.driver import simulate
+from ..core.spec import CacheSpec
+from ..harness.runner import run_sweep
 from ..sim.timing import MemoryTiming
 from ..workloads.registry import KERNEL_ORDER, get_kernel_trace, suite_traces
-from .common import FigureResult
+from .common import ExperimentSpec, FigureResult, run_experiment
 from .fig06_summary import SOFTWARE_CONTROL_CONFIGS
 
 #: Figure 10b's latency sweep, in cycles.
 LATENCIES = (5, 10, 15, 20, 25, 30)
 
+FIG10A = ExperimentSpec.create(
+    "fig10a",
+    "Software control on the most time-consuming Perfect Club subroutines",
+    SOFTWARE_CONTROL_CONFIGS,
+)
+
 
 def kernel_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 10a: AMAT on manually instrumented Perfect Club kernels."""
-    result = FigureResult(
-        figure="fig10a",
-        title="Software control on the most time-consuming Perfect Club "
-        "subroutines",
-        series=list(SOFTWARE_CONTROL_CONFIGS),
-        metric="AMAT (cycles)",
-    )
-    for code in KERNEL_ORDER:
-        trace = get_kernel_trace(code, scale, seed)
-        for config, factory in SOFTWARE_CONTROL_CONFIGS.items():
-            result.add(code, config, simulate(factory(), trace).amat)
-    return result
+    traces = {
+        code: get_kernel_trace(code, scale, seed) for code in KERNEL_ORDER
+    }
+    return run_experiment(FIG10A, scale=scale, seed=seed, traces=traces)
 
 
 def latency_sweep(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 10b: AMAT(Standard) - AMAT(Soft) vs memory latency."""
+    # Both caches at every latency point run through one sweep grid, so
+    # the study parallelises and caches like any other figure.
+    configs = {}
+    for latency in LATENCIES:
+        timing = MemoryTiming(latency=latency)
+        configs[f"Stand lat={latency}"] = CacheSpec.of("standard", timing=timing)
+        configs[f"Soft lat={latency}"] = CacheSpec.of("soft", timing=timing)
+    sweep = run_sweep(suite_traces(scale, seed), configs)
     result = FigureResult(
         figure="fig10b",
         title="Influence of memory latency",
         series=[f"latency={lat}" for lat in LATENCIES],
         metric="AMAT(Stand.) - AMAT(Soft)",
     )
-    for name, trace in suite_traces(scale, seed).items():
+    for name, row in sweep.results.items():
         for latency in LATENCIES:
-            timing = MemoryTiming(latency=latency)
-            base = simulate(presets.standard(timing=timing), trace)
-            soft = simulate(presets.soft(timing=timing), trace)
+            base = row[f"Stand lat={latency}"]
+            soft = row[f"Soft lat={latency}"]
             result.add(name, f"latency={latency}", soft.amat_gain_vs(base))
     return result
 

@@ -15,14 +15,19 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..core import presets
-from ..sim.driver import simulate
+from ..core.spec import CacheSpec
+from ..harness.runner import run_sweep
 from ..workloads.blocked import FIG11B_LEADING_DIMS
-from ..workloads.dense import FIG11A_BLOCK_SIZES
+from ..workloads.dense import BLOCKED_MV_SCALES, FIG11A_BLOCK_SIZES
 from ..workloads.registry import get_blocked_mm_trace, get_blocked_mv_trace
 from .common import FigureResult
+
+STANDARD_VS_SOFT = {
+    "Standard": CacheSpec.of("standard"),
+    "Soft": CacheSpec.of("soft"),
+}
 
 
 def block_size_sweep(
@@ -31,16 +36,25 @@ def block_size_sweep(
     block_sizes: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     """Figure 11a: AMAT of blocked MV vs block size, Standard vs Soft."""
+    if block_sizes is None:
+        # Keep only the x-axis points that tile this scale's vector
+        # (all of them do at paper scale; reduced scales keep a prefix).
+        n = BLOCKED_MV_SCALES[scale][0]
+        block_sizes = [b for b in FIG11A_BLOCK_SIZES if b <= n and n % b == 0]
+    traces = {
+        f"B={block}": get_blocked_mv_trace(block, scale, seed)
+        for block in block_sizes
+    }
+    sweep = run_sweep(traces, STANDARD_VS_SOFT)
     result = FigureResult(
         figure="fig11a",
         title="Optimal block size for blocked algorithms (blocked MV)",
         series=["Standard", "Soft"],
         metric="AMAT (cycles)",
     )
-    for block in block_sizes or FIG11A_BLOCK_SIZES:
-        trace = get_blocked_mv_trace(block, scale, seed)
-        result.add(f"B={block}", "Standard", simulate(presets.standard(), trace).amat)
-        result.add(f"B={block}", "Soft", simulate(presets.soft(), trace).amat)
+    for row, values in sweep.metric("amat").items():
+        for config, value in values.items():
+            result.add(row, config, value)
     return result
 
 
@@ -50,6 +64,14 @@ def copying_study(
     leading_dims: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     """Figure 11b: data copying for blocked MM across leading dimensions."""
+    dims = list(leading_dims or FIG11B_LEADING_DIMS)
+    variants = ((False, "No copy"), (True, "Copy"))
+    traces = {
+        f"ld={ld}|{label}": get_blocked_mm_trace(ld, copying, scale, seed)
+        for ld in dims
+        for copying, label in variants
+    }
+    sweep = run_sweep(traces, STANDARD_VS_SOFT)
     result = FigureResult(
         figure="fig11b",
         title="Data copying (blocked matrix-matrix multiply)",
@@ -61,16 +83,12 @@ def copying_study(
         ],
         metric="AMAT (cycles)",
     )
-    for ld in leading_dims or FIG11B_LEADING_DIMS:
+    for ld in dims:
         row = f"ld={ld}"
-        for copying, label in ((False, "No copy"), (True, "Copy")):
-            trace = get_blocked_mm_trace(ld, copying, scale, seed)
-            result.add(
-                row, f"{label} (stand.)", simulate(presets.standard(), trace).amat
-            )
-            result.add(
-                row, f"{label} (soft)", simulate(presets.soft(), trace).amat
-            )
+        for _, label in variants:
+            cells = sweep.results[f"{row}|{label}"]
+            result.add(row, f"{label} (stand.)", cells["Standard"].amat)
+            result.add(row, f"{label} (soft)", cells["Soft"].amat)
     return result
 
 

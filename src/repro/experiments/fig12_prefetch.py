@@ -11,32 +11,22 @@ accesses that even virtual lines must pay once.
 
 from __future__ import annotations
 
-from ..core import presets
-from ..harness.runner import run_sweep
-from ..workloads.registry import suite_traces
-from .common import FigureResult
+from ..core.spec import CacheSpec
+from .common import ExperimentSpec, FigureResult, run_experiment
 
 PREFETCH_CONFIGS = {
-    "Standard": presets.standard,
-    "Stand.+Prefetch": presets.standard_prefetch,
-    "Soft": presets.soft,
-    "Soft+Prefetch": presets.soft_prefetch,
+    "Standard": CacheSpec.of("standard"),
+    "Stand.+Prefetch": CacheSpec.of("standard_prefetch"),
+    "Soft": CacheSpec.of("soft"),
+    "Soft+Prefetch": CacheSpec.of("soft_prefetch"),
 }
+
+FIG12 = ExperimentSpec.create("fig12", "Prefetching", PREFETCH_CONFIGS)
 
 
 def prefetch_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Figure 12: AMAT with and without prefetching."""
-    sweep = run_sweep(suite_traces(scale, seed), PREFETCH_CONFIGS)
-    result = FigureResult(
-        figure="fig12",
-        title="Prefetching",
-        series=list(PREFETCH_CONFIGS),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(FIG12, scale=scale, seed=seed)
 
 
 def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper

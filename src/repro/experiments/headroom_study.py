@@ -19,41 +19,45 @@ mechanisms.
 
 from __future__ import annotations
 
-from ..core import presets
+from ..core.spec import CacheSpec
+from ..harness.runner import run_sweep
 from ..sim.belady import simulate_belady
-from ..sim.driver import simulate
 from ..sim.geometry import CacheGeometry
-from ..sim.standard import StandardCache
 from ..sim.timing import MemoryTiming
 from ..workloads.registry import suite_traces
 from .common import FigureResult
+
+HEADROOM_CONFIGS = {
+    "LRU-DM": CacheSpec.of("standard"),
+    "LRU-FA": CacheSpec.of("standard_cache", ways=256),
+    "Soft": CacheSpec.of("soft"),
+}
 
 
 def headroom(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Miss ratios of LRU-DM / LRU-FA / OPT-FA / Soft at 8 KB."""
     fully_associative = CacheGeometry(8 * 1024, 32, 256)
     timing = MemoryTiming()
+    traces = suite_traces(scale, seed)
+    sweep = run_sweep(traces, HEADROOM_CONFIGS)
     result = FigureResult(
         figure="headroom",
         title="LRU vs Belady-OPT vs software assistance (miss ratio)",
         series=["LRU-DM", "LRU-FA", "OPT-FA", "Soft"],
         metric="misses / references",
     )
-    for name, trace in suite_traces(scale, seed).items():
-        result.add(
-            name, "LRU-DM", simulate(presets.standard(), trace).miss_ratio
-        )
-        result.add(
-            name,
-            "LRU-FA",
-            simulate(StandardCache(fully_associative, timing), trace).miss_ratio,
-        )
+    for name, trace in traces.items():
+        row = sweep.results[name]
+        result.add(name, "LRU-DM", row["LRU-DM"].miss_ratio)
+        result.add(name, "LRU-FA", row["LRU-FA"].miss_ratio)
+        # Belady needs the whole future reference stream, so it runs
+        # through its own offline simulator, outside the sweep grid.
         result.add(
             name,
             "OPT-FA",
             simulate_belady(trace, fully_associative, timing).miss_ratio,
         )
-        result.add(name, "Soft", simulate(presets.soft(), trace).miss_ratio)
+        result.add(name, "Soft", row["Soft"].miss_ratio)
     return result
 
 

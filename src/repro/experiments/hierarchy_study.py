@@ -16,11 +16,8 @@ the virtual line still halves them.
 
 from __future__ import annotations
 
-from ..core import presets
-from ..sim.driver import simulate
-from ..sim.geometry import CacheGeometry
-from ..sim.hierarchy import TwoLevelCache
-from ..sim.timing import MemoryTiming
+from ..core.spec import CacheSpec
+from ..harness.runner import run_sweep
 from ..workloads.registry import suite_traces
 from .common import FigureResult
 
@@ -28,19 +25,24 @@ from .common import FigureResult
 #: L2 miss adds to reach DRAM (total 20, the paper's memory latency).
 L2_HIT_LATENCY = 4
 MEMORY_EXTRA = 16
-L2_GEOMETRY = CacheGeometry(256 * 1024, 64, 4)
 
-
-def _with_l2(factory):
-    def build() -> TwoLevelCache:
-        timing = MemoryTiming(latency=L2_HIT_LATENCY)
-        return TwoLevelCache(factory(timing=timing), L2_GEOMETRY, MEMORY_EXTRA)
-
-    return build
+HIERARCHY_CONFIGS = {
+    "Stand flat": CacheSpec.of("standard"),
+    "Soft flat": CacheSpec.of("soft"),
+    "Stand +L2": CacheSpec.of(
+        "with_l2", inner="standard",
+        l2_hit_latency=L2_HIT_LATENCY, memory_extra=MEMORY_EXTRA,
+    ),
+    "Soft +L2": CacheSpec.of(
+        "with_l2", inner="soft",
+        l2_hit_latency=L2_HIT_LATENCY, memory_extra=MEMORY_EXTRA,
+    ),
+}
 
 
 def l2_retrospective(scale: str = "paper", seed: int = 0) -> FigureResult:
     """AMAT with a flat memory vs with an L2, Standard vs Soft."""
+    sweep = run_sweep(suite_traces(scale, seed), HIERARCHY_CONFIGS)
     result = FigureResult(
         figure="hierarchy",
         title="Software assistance with and without an L2",
@@ -50,11 +52,11 @@ def l2_retrospective(scale: str = "paper", seed: int = 0) -> FigureResult:
         ],
         metric="AMAT (cycles) / relative gain",
     )
-    for name, trace in suite_traces(scale, seed).items():
-        flat_standard = simulate(presets.standard(), trace).amat
-        flat_soft = simulate(presets.soft(), trace).amat
-        l2_standard = simulate(_with_l2(presets.standard)(), trace).amat
-        l2_soft = simulate(_with_l2(presets.soft)(), trace).amat
+    for name, row in sweep.results.items():
+        flat_standard = row["Stand flat"].amat
+        flat_soft = row["Soft flat"].amat
+        l2_standard = row["Stand +L2"].amat
+        l2_soft = row["Soft +L2"].amat
         result.add(name, "Stand flat", flat_standard)
         result.add(name, "Soft flat", flat_soft)
         result.add(name, "gain% flat", 100 * (1 - flat_soft / flat_standard))

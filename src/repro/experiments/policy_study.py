@@ -15,8 +15,8 @@ from __future__ import annotations
 from typing import Dict
 
 from ..compiler import Array, ArrayRef, Loop, Program, generate_trace, nest, var
-from ..core import presets
-from ..sim.driver import simulate
+from ..core.spec import CacheSpec
+from ..harness.runner import run_sweep
 from ..workloads.registry import BENCHMARK_ORDER, build_program
 from .common import FigureResult
 
@@ -55,10 +55,17 @@ def policy_comparison(scale: str = "paper", seed: int = 0) -> FigureResult:
     )
     programs = {name: build_program(name, scale) for name in BENCHMARK_ORDER}
     programs["MV-oversized"] = _oversized_mv(scale)
-    for name, program in programs.items():
+    # One grid row per (benchmark, policy): the same program tagged by
+    # each policy is a distinct trace, so the cells cache independently.
+    traces = {
+        f"{name}|{policy}": generate_trace(program, seed=seed, policy=policy)
+        for name, program in programs.items()
+        for policy in POLICIES
+    }
+    sweep = run_sweep(traces, {"Soft": CacheSpec.of("soft")})
+    for name in programs:
         for policy, suffix in (("elementary", "elem"), ("volume-aware", "volume")):
-            trace = generate_trace(program, seed=seed, policy=policy)
-            r = simulate(presets.soft(), trace)
+            r = sweep.results[f"{name}|{policy}"]["Soft"]
             result.add(name, f"AMAT {suffix}", r.amat)
             result.add(name, f"bounces {suffix}", r.bounce_backs)
     return result

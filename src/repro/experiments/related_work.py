@@ -18,50 +18,37 @@ many-stream kernel that exercises the paper's stream-buffer critique.
 
 from __future__ import annotations
 
-from functools import lru_cache, partial
+from functools import lru_cache
 
 from ..compiler import Array, ArrayRef, Loop, Program, generate_trace, nest, var
-from ..core import presets
-from ..harness.runner import run_sweep
-from ..sim.column_assoc import ColumnAssociativeCache
-from ..sim.driver import simulate
-from ..sim.geometry import CacheGeometry
-from ..sim.stream_buffer import StreamBufferCache
-from ..sim.timing import MemoryTiming
-from ..workloads.registry import suite_traces
-from .common import FigureResult
+from ..core.spec import CacheSpec
+from .common import ExperimentSpec, FigureResult, run_experiment
 
+#: The section 5 comparison set, shared by the AMAT and traffic views.
+BASELINE_CONFIGS = {
+    "Standard": CacheSpec.of("standard"),
+    "Column-assoc": CacheSpec.of("column_assoc"),
+    "Stream buffers": CacheSpec.of("stream_buffer"),
+    "Stand.+Victim": CacheSpec.of("victim"),
+    "Soft": CacheSpec.of("soft"),
+}
 
-def _column_assoc() -> ColumnAssociativeCache:
-    return ColumnAssociativeCache(CacheGeometry(8 * 1024, 32, 1))
+RELATED_WORK = ExperimentSpec.create(
+    "related-work", "Section 5 alternatives", BASELINE_CONFIGS
+)
 
-
-def _stream_buffers(n_buffers: int = 4) -> StreamBufferCache:
-    return StreamBufferCache(
-        CacheGeometry(8 * 1024, 32, 1), MemoryTiming(), n_buffers=n_buffers
-    )
+RELATED_WORK_TRAFFIC = ExperimentSpec.create(
+    "related-work-traffic",
+    "Section 5 alternatives: memory traffic",
+    BASELINE_CONFIGS,
+    metric="traffic",
+    metric_label="words fetched / references",
+)
 
 
 def baseline_comparison(scale: str = "paper", seed: int = 0) -> FigureResult:
     """AMAT of the section 5 alternatives against the paper's design."""
-    configs = {
-        "Standard": presets.standard,
-        "Column-assoc": _column_assoc,
-        "Stream buffers": _stream_buffers,
-        "Stand.+Victim": presets.victim,
-        "Soft": presets.soft,
-    }
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="related-work",
-        title="Section 5 alternatives",
-        series=list(configs),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(RELATED_WORK, scale=scale, seed=seed)
 
 
 def baseline_traffic(scale: str = "paper", seed: int = 0) -> FigureResult:
@@ -72,24 +59,7 @@ def baseline_traffic(scale: str = "paper", seed: int = 0) -> FigureResult:
     several lines ahead on *every* miss, multiplying memory traffic,
     while the software tags keep the assisted cache's traffic modest.
     """
-    configs = {
-        "Standard": presets.standard,
-        "Column-assoc": _column_assoc,
-        "Stream buffers": _stream_buffers,
-        "Stand.+Victim": presets.victim,
-        "Soft": presets.soft,
-    }
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="related-work-traffic",
-        title="Section 5 alternatives: memory traffic",
-        series=list(configs),
-        metric="words fetched / references",
-    )
-    for bench, row in sweep.metric("traffic").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(RELATED_WORK_TRAFFIC, scale=scale, seed=seed)
 
 
 #: Streams in the many-stream kernel (one per array reference).
@@ -116,35 +86,49 @@ def _many_stream_trace(n_streams: int, scale: str = "paper", seed: int = 0):
     return generate_trace(program, seed=seed)
 
 
+STREAM_STUDY = ExperimentSpec.create(
+    "related-work-streams",
+    "Stream buffers vs interleaved stream count",
+    {
+        **{
+            f"{n} buffers": CacheSpec.of("stream_buffer", n_buffers=n)
+            for n in (2, 4, 8)
+        },
+        "Soft": CacheSpec.of("soft"),
+    },
+)
+
+
 def stream_buffer_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     """Stream-buffer count vs interleaved stream count (the §5 critique)."""
-    result = FigureResult(
-        figure="related-work-streams",
-        title="Stream buffers vs interleaved stream count",
-        series=[f"{n} buffers" for n in (2, 4, 8)] + ["Soft"],
-        metric="AMAT (cycles)",
-    )
-    for n_streams in MANY_STREAM_COUNTS:
-        trace = _many_stream_trace(n_streams, scale, seed)
-        row = f"{n_streams} streams"
-        for n_buffers in (2, 4, 8):
-            r = simulate(_stream_buffers(n_buffers), trace)
-            result.add(row, f"{n_buffers} buffers", r.amat)
-        result.add(row, "Soft", simulate(presets.soft(), trace).amat)
-    return result
+    traces = {
+        f"{n} streams": _many_stream_trace(n, scale, seed)
+        for n in MANY_STREAM_COUNTS
+    }
+    return run_experiment(STREAM_STUDY, scale=scale, seed=seed, traces=traces)
 
 
-def _hp_assist() -> "HPAssistCache":
-    from ..core.assist_hp import HPAssistCache
+PLACEMENT_STUDY = ExperimentSpec.create(
+    "related-work-placement",
+    "Buffer placement: bounce-back vs HP-7200 assist cache",
+    {
+        "Standard": CacheSpec.of("standard"),
+        "Bounce-back only": CacheSpec.of("soft_temporal_only"),
+        "HP assist": CacheSpec.of("hp_assist"),
+        "Soft (BB+VL)": CacheSpec.of("soft"),
+    },
+)
 
-    return HPAssistCache(CacheGeometry(8 * 1024, 32, 1), MemoryTiming())
-
-
-def _subblock() -> "SubBlockCache":
-    from ..sim.subblock import SubBlockCache
-
-    # PowerPC-style sectoring: 64-byte lines, 32-byte sub-blocks.
-    return SubBlockCache(CacheGeometry(8 * 1024, 64, 1), sub_block=32)
+SUBBLOCK_STUDY = ExperimentSpec.create(
+    "related-work-subblock",
+    "Sub-block placement vs virtual lines",
+    {
+        "Standard 32B": CacheSpec.of("standard"),
+        # PowerPC-style sectoring: 64-byte lines, 32-byte sub-blocks.
+        "Subblock 64/32B": CacheSpec.of("subblock", line_size=64, sub_block=32),
+        "Soft (VL64)": CacheSpec.of("soft"),
+    },
+)
 
 
 def placement_study(scale: str = "paper", seed: int = 0) -> FigureResult:
@@ -160,23 +144,7 @@ def placement_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     codes — whereas the bounce-back design admits everything to the main
     cache and only biases eviction, which is why it is safe.
     """
-    configs = {
-        "Standard": presets.standard,
-        "Bounce-back only": presets.soft_temporal_only,
-        "HP assist": _hp_assist,
-        "Soft (BB+VL)": presets.soft,
-    }
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="related-work-placement",
-        title="Buffer placement: bounce-back vs HP-7200 assist cache",
-        series=list(configs),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(PLACEMENT_STUDY, scale=scale, seed=seed)
 
 
 def subblock_study(scale: str = "paper", seed: int = 0) -> FigureResult:
@@ -187,22 +155,7 @@ def subblock_study(scale: str = "paper", seed: int = 0) -> FigureResult:
     miss once per sector; virtual lines fetch the whole block on the
     first spatial-tagged miss.
     """
-    configs = {
-        "Standard 32B": presets.standard,
-        "Subblock 64/32B": _subblock,
-        "Soft (VL64)": presets.soft,
-    }
-    sweep = run_sweep(suite_traces(scale, seed), configs)
-    result = FigureResult(
-        figure="related-work-subblock",
-        title="Sub-block placement vs virtual lines",
-        series=list(configs),
-        metric="AMAT (cycles)",
-    )
-    for bench, row in sweep.metric("amat").items():
-        for config, value in row.items():
-            result.add(bench, config, value)
-    return result
+    return run_experiment(SUBBLOCK_STUDY, scale=scale, seed=seed)
 
 
 def main(scale: str = "paper") -> None:  # pragma: no cover - CLI helper

@@ -12,7 +12,6 @@
 
 from __future__ import annotations
 
-from ..core import presets
 from ..compiler import (
     Array,
     ArrayRef,
@@ -25,8 +24,14 @@ from ..compiler import (
     strip_mine,
     var,
 )
-from ..sim.driver import simulate
+from ..core.spec import CacheSpec
+from ..harness.runner import run_sweep
 from .common import FigureResult
+
+STANDARD_VS_SOFT = {
+    "Standard": CacheSpec.of("standard"),
+    "Soft": CacheSpec.of("soft"),
+}
 
 
 def _bad_order_program(n: int = 90, reps: int = 12) -> Program:
@@ -56,11 +61,15 @@ def interchange_study(scale: str = "paper", seed: int = 0) -> FigureResult:
         series=["Standard", "Soft"],
         metric="AMAT (cycles)",
     )
-    for label, prog in (("original (J inner)", program),
-                        ("interchanged (I inner)", transformed)):
-        trace = generate_trace(prog, seed=seed)
-        result.add(label, "Standard", simulate(presets.standard(), trace).amat)
-        result.add(label, "Soft", simulate(presets.soft(), trace).amat)
+    traces = {
+        label: generate_trace(prog, seed=seed)
+        for label, prog in (("original (J inner)", program),
+                            ("interchanged (I inner)", transformed))
+    }
+    sweep = run_sweep(traces, STANDARD_VS_SOFT)
+    for label, row in sweep.metric("amat").items():
+        for config, value in row.items():
+            result.add(label, config, value)
 
     tags = analyze_nest(swapped, program.arrays)
     result.notes = (
@@ -135,10 +144,14 @@ def expansion_study(scale: str = "paper", seed: int = 0) -> FigureResult:
         series=["Standard", "Soft"],
         metric="AMAT (cycles)",
     )
-    for label, expand in (("no expansion", False), ("expanded", True)):
-        trace = generate_trace(program, seed=seed, expand_subscripts=expand)
-        result.add(label, "Standard", simulate(presets.standard(), trace).amat)
-        result.add(label, "Soft", simulate(presets.soft(), trace).amat)
+    traces = {
+        label: generate_trace(program, seed=seed, expand_subscripts=expand)
+        for label, expand in (("no expansion", False), ("expanded", True))
+    }
+    sweep = run_sweep(traces, STANDARD_VS_SOFT)
+    for label, row in sweep.metric("amat").items():
+        for config, value in row.items():
+            result.add(label, config, value)
     return result
 
 

@@ -1,6 +1,26 @@
-"""Experiment harness: grid runner and table rendering."""
+"""Experiment harness: parallel cached grid runner and table rendering."""
 
-from .runner import CacheFactory, Sweep, run_sweep
+from .parallel import (
+    SIM_VERSION,
+    ResultCache,
+    cache_enabled,
+    default_cache_dir,
+    resolve_jobs,
+    run_cells,
+)
+from .runner import CacheFactory, ConfigLike, Sweep, run_sweep
 from .tables import format_table
 
-__all__ = ["CacheFactory", "Sweep", "run_sweep", "format_table"]
+__all__ = [
+    "CacheFactory",
+    "ConfigLike",
+    "Sweep",
+    "run_sweep",
+    "format_table",
+    "ResultCache",
+    "SIM_VERSION",
+    "cache_enabled",
+    "default_cache_dir",
+    "resolve_jobs",
+    "run_cells",
+]

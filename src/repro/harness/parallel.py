@@ -1,0 +1,252 @@
+"""Parallel dispatch and on-disk result caching for sweep grids.
+
+The figure battery is a large (benchmark x configuration) grid whose
+cells are completely independent: each one runs a deterministic
+simulation of a trace on a cold cache.  This module gives the grid two
+speed levers:
+
+* **process-level parallelism** — cells dispatch to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Work units are
+  ``(Trace, CacheSpec)`` pairs, both plain picklable data; factories and
+  closures never cross the process boundary.
+* **a content-addressed result cache** — every finished cell is stored
+  on disk keyed by ``sha256(simulator version, trace fingerprint, spec
+  fingerprint)``, so re-running an unchanged cell costs one small JSON
+  read instead of a simulation.
+
+Knobs (all also honoured by ``python -m repro run/simulate --jobs``):
+
+``REPRO_JOBS``
+    Default worker count when ``jobs`` is not passed explicitly.
+    ``1`` (the default) is a strict serial fallback that produces
+    bit-identical results to the pre-parallel runner; ``0`` or ``auto``
+    means one worker per CPU.
+``REPRO_CACHE``
+    Set to ``0``/``off``/``false`` to disable the result cache.
+``REPRO_CACHE_DIR``
+    Cache location (default ``$XDG_CACHE_HOME/repro/results`` or
+    ``~/.cache/repro/results``).  Deleting the directory clears it.
+
+``SIM_VERSION`` must be bumped whenever a change alters simulation
+*results* (timing rules, replacement policies, counter semantics...);
+it invalidates every cached cell at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.spec import CacheSpec
+from ..errors import ConfigError
+from ..memtrace.trace import Trace
+from ..sim.driver import simulate
+from ..sim.result import SimResult
+
+#: Bump on any change that alters simulation results; invalidates the
+#: whole result cache.
+SIM_VERSION = "1"
+
+
+# ----------------------------------------------------------------------
+# Job-count resolution
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: Union[int, str, None] = None) -> int:
+    """Resolve a worker count: explicit argument > ``REPRO_JOBS`` > 1.
+
+    ``0`` or ``"auto"`` selects one worker per available CPU; any other
+    value must be a positive integer.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS") or 1
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                raise ConfigError(
+                    f"jobs must be a positive integer, 0 or 'auto': {jobs!r}"
+                ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0: {jobs}")
+    return jobs
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk result cache is enabled (``REPRO_CACHE``)."""
+    flag = os.environ.get("REPRO_CACHE", "1").strip().lower()
+    return flag not in ("0", "off", "false", "no")
+
+
+def default_cache_dir() -> Path:
+    """Result-cache location, honouring ``REPRO_CACHE_DIR``/XDG."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "results"
+
+
+# ----------------------------------------------------------------------
+# Result serialisation (lossless: SimResult counters are ints)
+# ----------------------------------------------------------------------
+_RESULT_FIELDS = tuple(f.name for f in dataclasses.fields(SimResult))
+
+
+def result_to_payload(result: SimResult) -> Dict:
+    return {name: getattr(result, name) for name in _RESULT_FIELDS}
+
+
+def payload_to_result(payload: Dict) -> SimResult:
+    return SimResult(**{name: payload[name] for name in _RESULT_FIELDS})
+
+
+class ResultCache:
+    """Content-addressed on-disk store of finished sweep cells.
+
+    Keys are ``sha256(SIM_VERSION, trace fingerprint, spec fingerprint)``;
+    values are the raw :class:`SimResult` counters as JSON.  Counters are
+    integers, so the round-trip is lossless and cached cells are
+    byte-identical to freshly simulated ones.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(trace_fingerprint: str, spec_fingerprint: str) -> str:
+        import hashlib
+
+        material = f"{SIM_VERSION}\n{trace_fingerprint}\n{spec_fingerprint}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = payload_to_result(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: concurrent writers race benignly.
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(result_to_payload(result), handle)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache must never fail the sweep.
+            pass
+
+    def clear(self) -> int:
+        """Delete every cached cell; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def _open_cache(
+    cache: Union[ResultCache, str, os.PathLike, None, bool]
+) -> Optional[ResultCache]:
+    """Normalise run_sweep's ``cache`` argument.
+
+    ``"auto"`` (the default upstream) uses the default directory unless
+    ``REPRO_CACHE`` disables caching; ``None``/``False`` disables; a
+    :class:`ResultCache` or a path selects a specific store.
+    """
+    if cache is None or cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache == "auto":
+        return ResultCache() if cache_enabled() else None
+    return ResultCache(cache)
+
+
+# ----------------------------------------------------------------------
+# Workers
+# ----------------------------------------------------------------------
+def simulate_cell(payload: Tuple[Trace, CacheSpec]) -> SimResult:
+    """Pool work unit: simulate one (trace, spec) cell on a cold cache.
+
+    Module-level (not a closure) so it pickles under every start method.
+    """
+    trace, spec = payload
+    return simulate(spec.build(), trace)
+
+
+def run_cells(
+    cells: Sequence[Tuple[Trace, CacheSpec]],
+    jobs: Union[int, str, None] = None,
+    cache: Union[ResultCache, str, os.PathLike, None, bool] = "auto",
+) -> List[SimResult]:
+    """Run independent (trace, spec) cells, in submitted order.
+
+    Cache hits are resolved first; the remaining cells run serially
+    (``jobs == 1``) or on a process pool.  The returned list is aligned
+    with ``cells`` regardless of completion order.
+    """
+    jobs = resolve_jobs(jobs)
+    store = _open_cache(cache)
+    results: List[Optional[SimResult]] = [None] * len(cells)
+    pending: List[int] = []
+    keys: Dict[int, str] = {}
+
+    for index, (trace, spec) in enumerate(cells):
+        if store is not None:
+            key = store.key(trace.fingerprint(), spec.fingerprint())
+            keys[index] = key
+            cached = store.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+        pending.append(index)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            fresh = [simulate_cell(cells[i]) for i in pending]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                # map() preserves submission order even when cells
+                # complete out of order under the pool.
+                fresh = list(pool.map(simulate_cell, [cells[i] for i in pending]))
+        for index, result in zip(pending, fresh):
+            results[index] = result
+            if store is not None:
+                store.put(keys[index], result)
+
+    return results  # type: ignore[return-value]

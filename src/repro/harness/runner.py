@@ -1,22 +1,35 @@
-"""Sweep runner: simulate grids of (cache factory x trace).
+"""Sweep runner: simulate grids of (cache configuration x trace).
 
-Cache models are stateful, so sweeps take *factories* (zero-argument
-callables returning a fresh model) rather than model instances — every
-cell of the grid runs on a cold cache, as in the paper.
+Cache models are stateful, so sweep cells are described by
+:class:`~repro.core.spec.CacheSpec` objects — declarative, picklable
+descriptions from which every cell constructs a fresh model (cold cache,
+as in the paper).  Spec cells dispatch through
+:mod:`repro.harness.parallel`: they run on a process pool when
+``jobs > 1`` and hit the on-disk result cache when unchanged.
+
+Zero-argument factories (the pre-spec API) are still accepted; they run
+serially in-process and bypass the cache, since a closure has neither a
+stable fingerprint nor a guaranteed pickle.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from ..core.spec import CacheSpec
 from ..memtrace.trace import Trace
 from ..sim.base import CacheModel
 from ..sim.driver import simulate
 from ..sim.result import SimResult
+from .parallel import ResultCache, run_cells
 from .tables import format_table
 
 CacheFactory = Callable[[], CacheModel]
+
+#: A sweep column: either a declarative spec or a legacy factory.
+ConfigLike = Union[CacheSpec, CacheFactory]
 
 
 @dataclass
@@ -33,11 +46,24 @@ class Sweep:
             self.config_order.append(config_name)
 
     def metric(self, name: str) -> Dict[str, Dict[str, float]]:
-        """Extract one metric (attribute of SimResult) across the grid."""
-        return {
-            trace: {cfg: getattr(r, name) for cfg, r in row.items()}
-            for trace, row in self.results.items()
-        }
+        """Extract one metric (attribute of SimResult) across the grid.
+
+        Rows follow ``config_order`` (the submitted column order), not
+        the insertion order of individual cells, so tables stay
+        deterministic however the grid was filled.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for trace, row in self.results.items():
+            ordered = {
+                cfg: getattr(row[cfg], name)
+                for cfg in self.config_order
+                if cfg in row
+            }
+            for cfg, result in row.items():  # configs added out-of-band
+                if cfg not in ordered:
+                    ordered[cfg] = getattr(result, name)
+            out[trace] = ordered
+        return out
 
     def table(self, metric: str = "amat", precision: int = 3) -> str:
         return format_table(
@@ -50,12 +76,44 @@ class Sweep:
 
 def run_sweep(
     traces: Mapping[str, Trace],
-    configs: Mapping[str, CacheFactory],
+    configs: Mapping[str, ConfigLike],
+    jobs: Union[int, str, None] = None,
+    cache: Union[ResultCache, str, os.PathLike, None, bool] = "auto",
 ) -> Sweep:
-    """Simulate every trace against every configuration (fresh caches)."""
+    """Simulate every trace against every configuration (fresh caches).
+
+    ``jobs`` selects the worker count (default: ``REPRO_JOBS`` env var,
+    else 1 — the serial path, bit-identical to parallel runs).  ``cache``
+    selects the on-disk result cache (``"auto"`` = the default store
+    unless ``REPRO_CACHE`` disables it; ``None`` = off; a path or
+    :class:`ResultCache` = a specific store).
+    """
+    # Submitted order: row-major over the input mappings.  The Sweep is
+    # assembled from this list after all cells complete, so parallel
+    # completion order can never reorder rows or columns.
+    grid: List[Tuple[str, str, ConfigLike]] = [
+        (trace_name, config_name, config)
+        for trace_name in traces
+        for config_name, config in configs.items()
+    ]
+
+    spec_cells = [
+        (index, (traces[t], cfg))
+        for index, (t, c, cfg) in enumerate(grid)
+        if isinstance(cfg, CacheSpec)
+    ]
+    cell_results: Dict[int, SimResult] = {}
+    if spec_cells:
+        outcomes = run_cells(
+            [cell for _, cell in spec_cells], jobs=jobs, cache=cache
+        )
+        for (index, _), result in zip(spec_cells, outcomes):
+            cell_results[index] = result
+
     sweep = Sweep()
-    for trace_name, trace in traces.items():
-        for config_name, factory in configs.items():
-            result = simulate(factory(), trace)
-            sweep.add(trace_name, config_name, result)
+    for index, (trace_name, config_name, config) in enumerate(grid):
+        result = cell_results.get(index)
+        if result is None:  # legacy factory: serial, uncached
+            result = simulate(config(), traces[trace_name])
+        sweep.add(trace_name, config_name, result)
     return sweep

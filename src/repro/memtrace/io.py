@@ -25,6 +25,7 @@ def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
     """Write a trace to ``path`` as a compressed npz archive."""
     payload = {
         "version": np.int64(FORMAT_VERSION),
+        "fingerprint": np.str_(trace.fingerprint()),
         "name": np.str_(trace.name),
         "addresses": trace.addresses,
         "is_write": trace.is_write,
@@ -48,7 +49,7 @@ def load_trace(path: Union[str, os.PathLike]) -> Trace:
                     f"expected {FORMAT_VERSION}"
                 )
             ref_ids = archive["ref_ids"] if "ref_ids" in archive else None
-            return Trace(
+            trace = Trace(
                 archive["addresses"],
                 archive["is_write"],
                 archive["temporal"],
@@ -57,5 +58,13 @@ def load_trace(path: Union[str, os.PathLike]) -> Trace:
                 name=str(archive["name"]),
                 ref_ids=ref_ids,
             )
+            if "fingerprint" in archive:
+                stored = str(archive["fingerprint"])
+                if stored != trace.fingerprint():
+                    raise TraceError(
+                        f"trace file {path!s} is corrupt: stored fingerprint "
+                        f"{stored[:12]}… does not match the columns"
+                    )
+            return trace
     except (OSError, KeyError, ValueError) as error:
         raise TraceError(f"cannot load trace from {path!s}: {error}") from error

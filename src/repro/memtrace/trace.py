@@ -105,6 +105,7 @@ class Trace:
         self.spatial = spatial
         self.gaps = gaps
         self.name = name
+        self._fingerprint = None
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -133,6 +134,29 @@ class Trace:
             self.spatial.tolist(),
             self.gaps.tolist(),
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every column plus the name (hex).
+
+        Used as the trace component of the on-disk sweep result-cache key
+        and as an integrity check in the ``.npz`` persistence layer.  The
+        hash is computed once per trace object (the columns are
+        immutable by convention).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(self.name.encode())
+            for column in (
+                self.addresses, self.is_write, self.temporal,
+                self.spatial, self.gaps,
+            ):
+                digest.update(np.ascontiguousarray(column).tobytes())
+            if self.ref_ids is not None:
+                digest.update(np.ascontiguousarray(self.ref_ids).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derived views

@@ -105,7 +105,7 @@ def attribute(model: CacheModel, trace: Trace) -> Attribution:
         addresses, is_write, temporal, spatial, gaps, ref_ids
     ):
         clock += g
-        cycles = access(addr, w, t, s, clock)
+        cycles = access(addr, w, temporal=t, spatial=s, now=clock)
         extra = cycles - pipelined
         if extra > 0:
             clock += extra

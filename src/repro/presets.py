@@ -1,0 +1,91 @@
+"""The one place cache configurations are registered by name.
+
+``SPECS`` maps every configuration selectable from the command line (and
+from ``benchmarks/``) to a frozen, picklable :class:`~repro.core.spec
+.CacheSpec`.  The CLI, the benchmark conftest and the experiment drivers
+all consume this registry instead of keeping their own dicts::
+
+    from repro import presets
+
+    model = presets.build_config("soft")            # fresh model
+    spec = presets.spec("soft", virtual_line_size=128)  # derived spec
+
+Legacy factory-style access (``presets.standard()`` returning a model)
+still works but emits a :class:`DeprecationWarning`; import the factories
+from :mod:`repro.core.presets` — or better, use specs — instead.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, List
+
+from .core import presets as _factories
+from .core.spec import CacheSpec, register_kind, registered_kinds
+from .errors import ConfigError
+
+__all__ = [
+    "SPECS",
+    "CacheSpec",
+    "spec",
+    "build_config",
+    "config_names",
+    "register_kind",
+    "registered_kinds",
+]
+
+#: CLI name -> spec, in the paper's presentation order.
+SPECS: Dict[str, CacheSpec] = {
+    "standard": CacheSpec.of("standard"),
+    "victim": CacheSpec.of("victim"),
+    "temporal": CacheSpec.of("soft_temporal_only"),
+    "spatial": CacheSpec.of("soft_spatial_only"),
+    "soft": CacheSpec.of("soft"),
+    "bypass": CacheSpec.of("bypass"),
+    "bypass-buffer": CacheSpec.of("bypass_buffered"),
+    "standard-prefetch": CacheSpec.of("standard_prefetch"),
+    "soft-prefetch": CacheSpec.of("soft_prefetch"),
+    "temporal-priority": CacheSpec.of("temporal_priority"),
+}
+
+
+def config_names() -> List[str]:
+    """Registered configuration names, in presentation order."""
+    return list(SPECS)
+
+
+def spec(name: str, **overrides) -> CacheSpec:
+    """The registered spec for ``name``, optionally with knob overrides."""
+    try:
+        base = SPECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown configuration {name!r}; known: {config_names()}"
+        ) from None
+    return base.derive(**overrides) if overrides else base
+
+
+def build_config(name: str, **overrides):
+    """A fresh cache model for a registered configuration name."""
+    return spec(name, **overrides).build()
+
+
+#: Factory names forwarded (with a warning) to repro.core.presets.
+_LEGACY_FACTORIES = tuple(_factories.__all__)
+
+
+def __getattr__(name: str):
+    if name in _LEGACY_FACTORIES:
+        warnings.warn(
+            f"repro.presets.{name} is a deprecated factory import; build "
+            f"models from specs (repro.presets.SPECS / CacheSpec.of"
+            f"({name!r})) or import repro.core.presets.{name} directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_factories, name)
+    raise AttributeError(f"module 'repro.presets' has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(set(__all__) | set(_LEGACY_FACTORIES))

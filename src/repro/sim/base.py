@@ -2,7 +2,9 @@
 
 A cache model is a stateful object with one hot method::
 
-    cycles = model.access(address, is_write, temporal, spatial, now)
+    cycles = model.access(
+        address, is_write, temporal=temporal, spatial=spatial, now=now
+    )
 
 ``now`` is the issue time of the reference (cycles); the returned value
 is the number of cycles the access took, *including* any wait for a
@@ -33,10 +35,11 @@ class CacheModel(Protocol):
     def access(
         self,
         address: int,
-        is_write: bool,
-        temporal: bool,
-        spatial: bool,
-        now: int,
+        is_write: bool = False,
+        *,
+        temporal: bool = False,
+        spatial: bool = False,
+        now: int = 0,
     ) -> int:
         """Simulate one reference issued at time ``now``; return cycles."""
         ...

@@ -75,10 +75,11 @@ class BypassCache:
     def access(
         self,
         address: int,
-        is_write: bool,
-        temporal: bool,
-        spatial: bool,
-        now: int,
+        is_write: bool = False,
+        *,
+        temporal: bool = False,
+        spatial: bool = False,
+        now: int = 0,
     ) -> int:
         stats = self.stats
         stats.refs += 1

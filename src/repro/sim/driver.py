@@ -48,7 +48,7 @@ def simulate(
         if warmup_refs and position == warmup_refs:
             warm_snapshot = (total, _snapshot(model.stats))
         clock += g
-        cycles = access(addr, w, t, s, clock)
+        cycles = access(addr, w, temporal=t, spatial=s, now=clock)
         total += cycles
         # The gap distribution was measured assuming every instruction
         # executes in one cycle; anything beyond the pipelined hit is a

@@ -105,12 +105,15 @@ class TwoLevelCache:
     def access(
         self,
         address: int,
-        is_write: bool,
-        temporal: bool,
-        spatial: bool,
-        now: int,
+        is_write: bool = False,
+        *,
+        temporal: bool = False,
+        spatial: bool = False,
+        now: int = 0,
     ) -> int:
-        cycles = self.l1.access(address, is_write, temporal, spatial, now)
+        cycles = self.l1.access(
+            address, is_write, temporal=temporal, spatial=spatial, now=now
+        )
         fetched = self.l1.last_fetch
         if not fetched:
             return cycles

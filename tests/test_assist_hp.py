@@ -17,7 +17,7 @@ def make_cache(assist_lines=2):
 
 
 def access(cache, address, now, write=False, temporal=False, spatial=False):
-    return cache.access(address, write, temporal, spatial, now)
+    return cache.access(address, write, temporal=temporal, spatial=spatial, now=now)
 
 
 class TestBasics:

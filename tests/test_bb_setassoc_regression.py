@@ -56,7 +56,7 @@ class TestSetAssociativeBufferSwaps:
         c = make_cache()
 
         def access(addr, temporal=False, now=0):
-            return c.access(addr, False, temporal, False, now)
+            return c.access(addr, False, temporal=temporal, spatial=False, now=now)
 
         # Fill buffer set 0 (even lines) with temporal victims whose main
         # set is 0: lines 0, 256 (line numbers 0 and 8 — both even, both

@@ -19,29 +19,29 @@ def make_cache(buffer_lines=0):
 class TestPureBypass:
     def test_non_temporal_miss_fetches_word(self):
         c = make_cache()
-        assert c.access(0, False, False, False, 0) == WORD_PENALTY
+        assert c.access(0, False, temporal=False, spatial=False, now=0) == WORD_PENALTY
         assert c.stats.words_fetched == 1
 
     def test_non_temporal_never_allocates(self):
         c = make_cache()
-        c.access(0, False, False, False, 0)
+        c.access(0, False, temporal=False, spatial=False, now=0)
         # Still a miss: spatial locality is lost — the paper's flaw.
-        assert c.access(8, False, False, False, 100) == WORD_PENALTY
+        assert c.access(8, False, temporal=False, spatial=False, now=100) == WORD_PENALTY
         assert c.stats.misses == 2
 
     def test_temporal_allocates(self):
         c = make_cache()
-        assert c.access(0, False, True, False, 0) == PENALTY
-        assert c.access(8, False, True, False, 100) == 1
+        assert c.access(0, False, temporal=True, spatial=False, now=0) == PENALTY
+        assert c.access(8, False, temporal=True, spatial=False, now=100) == 1
 
     def test_non_temporal_sees_cached_data(self):
         c = make_cache()
-        c.access(0, False, True, False, 0)  # temporal ref caches the line
-        assert c.access(8, False, False, False, 100) == 1
+        c.access(0, False, temporal=True, spatial=False, now=0)  # temporal ref caches the line
+        assert c.access(8, False, temporal=False, spatial=False, now=100) == 1
 
     def test_non_temporal_write_goes_to_write_buffer(self):
         c = make_cache()
-        cycles = c.access(0, True, False, False, 0)
+        cycles = c.access(0, True, temporal=False, spatial=False, now=0)
         assert cycles == 1  # absorbed by the write buffer
         assert c.stats.writebacks == 1
 
@@ -50,13 +50,13 @@ class TestPureBypass:
         # round trip per word instead of per line.
         c = make_cache()
         total = sum(
-            c.access(8 * k, False, False, False, 1000 * k) for k in range(64)
+            c.access(8 * k, False, temporal=False, spatial=False, now=1000 * k) for k in range(64)
         )
         bypass_amat = total / 64
 
         c2 = make_cache()
         total2 = sum(
-            c2.access(8 * k, False, True, False, 1000 * k) for k in range(64)
+            c2.access(8 * k, False, temporal=True, spatial=False, now=1000 * k) for k in range(64)
         )
         cached_amat = total2 / 64
         assert bypass_amat > 2.5 * cached_amat
@@ -65,41 +65,41 @@ class TestPureBypass:
 class TestBufferedBypass:
     def test_miss_fills_buffer(self):
         c = make_cache(buffer_lines=2)
-        assert c.access(0, False, False, False, 0) == PENALTY
-        assert c.access(8, False, False, False, 100) == 1
+        assert c.access(0, False, temporal=False, spatial=False, now=0) == PENALTY
+        assert c.access(8, False, temporal=False, spatial=False, now=100) == 1
         assert c.stats.hits_assist == 1
 
     def test_buffer_lru(self):
         c = make_cache(buffer_lines=2)
         for k, address in enumerate((0, 32, 64)):  # 3 lines through 2 slots
-            c.access(address, False, False, False, 1000 * k)
-        assert c.access(0, False, False, False, 5000) == PENALTY  # evicted
-        assert c.access(64, False, False, False, 9000) == 1
+            c.access(address, False, temporal=False, spatial=False, now=1000 * k)
+        assert c.access(0, False, temporal=False, spatial=False, now=5000) == PENALTY  # evicted
+        assert c.access(64, False, temporal=False, spatial=False, now=9000) == 1
 
     def test_buffer_does_not_pollute_cache(self):
         c = make_cache(buffer_lines=2)
-        c.access(0, False, True, False, 0)       # cached (temporal)
-        c.access(128, False, False, False, 100)  # same set, bypassed
-        assert c.access(0, False, False, False, 1000) == 1  # still cached
+        c.access(0, False, temporal=True, spatial=False, now=0)       # cached (temporal)
+        c.access(128, False, temporal=False, spatial=False, now=100)  # same set, bypassed
+        assert c.access(0, False, temporal=False, spatial=False, now=1000) == 1  # still cached
 
     def test_dirty_buffer_eviction_writes_back(self):
         c = make_cache(buffer_lines=1)
-        c.access(0, True, False, False, 0)
-        c.access(32, False, False, False, 1000)  # evicts dirty line 0
+        c.access(0, True, temporal=False, spatial=False, now=0)
+        c.access(32, False, temporal=False, spatial=False, now=1000)  # evicts dirty line 0
         assert c.stats.writebacks == 1
 
     def test_buffer_write_hit_marks_dirty(self):
         c = make_cache(buffer_lines=1)
-        c.access(0, False, False, False, 0)
-        c.access(8, True, False, False, 100)     # write hit in buffer
-        c.access(32, False, False, False, 1000)
+        c.access(0, False, temporal=False, spatial=False, now=0)
+        c.access(8, True, temporal=False, spatial=False, now=100)     # write hit in buffer
+        c.access(32, False, temporal=False, spatial=False, now=1000)
         assert c.stats.writebacks == 1
 
 
 class TestReset:
     def test_reset_clears_everything(self):
         c = make_cache(buffer_lines=2)
-        c.access(0, False, False, False, 0)
+        c.access(0, False, temporal=False, spatial=False, now=0)
         c.reset()
         assert c.stats.refs == 0
-        assert c.access(0, False, False, False, 0) == PENALTY
+        assert c.access(0, False, temporal=False, spatial=False, now=0) == PENALTY

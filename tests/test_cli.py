@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import CONFIGS, main
+from repro.core.spec import CacheSpec
 
 
 class TestFigures:
@@ -28,6 +29,15 @@ class TestRun:
         out = capsys.readouterr().out
         assert "fig4a" in out and "fig4b" in out
 
+    def test_jobs_flag_matches_serial(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["run", "fig6a", "--scale", "tiny", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "fig6a", "--scale", "tiny", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
 
 class TestSimulate:
     def test_single_config(self, capsys):
@@ -49,6 +59,30 @@ class TestSimulate:
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--benchmark", "nope"])
+
+    def test_jobs_flag_accepted(self, capsys):
+        assert main(
+            ["simulate", "--benchmark", "LIV", "--scale", "tiny",
+             "--jobs", "2"]
+        ) == 0
+        assert "AMAT" in capsys.readouterr().out
+
+    def test_configs_registry_is_specs(self):
+        assert all(isinstance(s, CacheSpec) for s in CONFIGS.values())
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "results"))
+        assert main(
+            ["simulate", "--benchmark", "LIV", "--config", "soft",
+             "--scale", "tiny"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
 
 
 class TestTags:

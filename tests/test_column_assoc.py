@@ -23,7 +23,7 @@ def make_cache():
 
 
 def access(cache, address, now, write=False):
-    return cache.access(address, write, False, False, now)
+    return cache.access(address, write, temporal=False, spatial=False, now=now)
 
 
 class TestValidation:

@@ -26,7 +26,7 @@ def make_hierarchy(l2_sets=8, l2_ways=2, l2_line=32):
 
 
 def access(cache, address, now):
-    return cache.access(address, False, False, False, now)
+    return cache.access(address, False, temporal=False, spatial=False, now=now)
 
 
 class TestValidation:
@@ -92,14 +92,14 @@ class TestWithSoftL1:
             )
         )
         c = TwoLevelCache(l1, CacheGeometry(1024, 32, 2), EXTRA)
-        cycles = c.access(0, False, False, True, 0)
+        cycles = c.access(0, False, temporal=False, spatial=True, now=0)
         # Two lines fetched, both missing the L2: one extra latency.
         assert cycles == L1_TIMING.miss_penalty(2, 32) + EXTRA
         assert c.l2_stats.misses == 2
         # Re-fetch after L1 eviction: L2 hits, no memory trip.
-        c.access(128, False, False, False, 1000)
-        c.access(160, False, False, False, 2000)
-        cycles = c.access(0, False, False, True, 3000)
+        c.access(128, False, temporal=False, spatial=False, now=1000)
+        c.access(160, False, temporal=False, spatial=False, now=2000)
+        cycles = c.access(0, False, temporal=False, spatial=True, now=3000)
         assert cycles <= L1_TIMING.miss_penalty(2, 32) + 3
 
 

@@ -1,0 +1,181 @@
+"""Parallel dispatch and result caching of the sweep engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spec import CacheSpec
+from repro.errors import ConfigError
+from repro.harness.parallel import (
+    ResultCache,
+    payload_to_result,
+    resolve_jobs,
+    result_to_payload,
+)
+from repro.harness.runner import run_sweep
+from repro.sim.geometry import CacheGeometry
+from repro.sim.standard import StandardCache
+
+from conftest import make_trace
+
+
+def _suite(n_traces=3, length=400, seed=7):
+    """Small deterministic mixed-stride traces."""
+    rng = np.random.default_rng(seed)
+    traces = {}
+    for k in range(n_traces):
+        stream = np.arange(length) * 8 % 4096
+        noise = rng.integers(0, 8192, size=length) & ~7
+        addresses = np.where(np.arange(length) % 3 == 0, noise, stream)
+        traces[f"t{k}"] = make_trace(
+            addresses,
+            temporal=(addresses % 64 == 0),
+            spatial=(addresses % 16 == 0),
+            name=f"t{k}",
+        )
+    return traces
+
+
+CONFIGS = {
+    "Standard": CacheSpec.of("standard"),
+    "Soft": CacheSpec.of("soft"),
+    "Victim": CacheSpec.of("victim"),
+}
+
+
+class TestParallelEquivalence:
+    def test_parallel_equals_serial(self, tmp_path):
+        traces = _suite()
+        serial = run_sweep(traces, CONFIGS, jobs=1, cache=None)
+        parallel = run_sweep(traces, CONFIGS, jobs=2, cache=None)
+        assert serial.results.keys() == parallel.results.keys()
+        for name in traces:
+            assert serial.results[name] == parallel.results[name]
+
+    def test_row_and_column_order_is_submission_order(self):
+        traces = _suite()
+        sweep = run_sweep(traces, CONFIGS, jobs=2, cache=None)
+        assert list(sweep.results) == list(traces)
+        assert sweep.config_order == list(CONFIGS)
+        for row in sweep.metric("amat").values():
+            assert list(row) == list(CONFIGS)
+
+    def test_legacy_factories_still_accepted(self):
+        traces = _suite(n_traces=1)
+        factories = {
+            "lambda": lambda: StandardCache(CacheGeometry(8 * 1024, 32, 1)),
+            "spec": CacheSpec.of("standard_cache"),
+        }
+        sweep = run_sweep(traces, factories, cache=None)
+        row = sweep.results["t0"]
+        assert row["lambda"].misses == row["spec"].misses
+
+
+class TestResultCache:
+    def test_second_run_hits_for_every_cell(self, tmp_path):
+        traces = _suite()
+        store = ResultCache(tmp_path)
+        cold = run_sweep(traces, CONFIGS, cache=store)
+        assert store.hits == 0
+        assert len(store) == len(traces) * len(CONFIGS)
+
+        warm_store = ResultCache(tmp_path)
+        warm = run_sweep(traces, CONFIGS, cache=warm_store)
+        assert warm_store.hits == len(traces) * len(CONFIGS)
+        assert warm_store.misses == 0
+        for name in traces:
+            assert cold.results[name] == warm.results[name]
+
+    def test_spec_change_invalidates(self, tmp_path):
+        traces = _suite(n_traces=1)
+        store = ResultCache(tmp_path)
+        run_sweep(traces, {"soft": CacheSpec.of("soft")}, cache=store)
+
+        probe = ResultCache(tmp_path)
+        run_sweep(
+            traces,
+            {"soft": CacheSpec.of("soft", virtual_line_size=128)},
+            cache=probe,
+        )
+        assert probe.hits == 0
+        assert probe.misses == 1
+
+    def test_trace_change_invalidates(self, tmp_path):
+        store = ResultCache(tmp_path)
+        run_sweep(_suite(n_traces=1, seed=1), {"s": CONFIGS["Standard"]}, cache=store)
+        probe = ResultCache(tmp_path)
+        run_sweep(_suite(n_traces=1, seed=2), {"s": CONFIGS["Standard"]}, cache=probe)
+        assert probe.hits == 0
+
+    def test_cached_result_is_lossless(self):
+        traces = _suite(n_traces=1)
+        sweep = run_sweep(traces, {"s": CONFIGS["Soft"]}, cache=None)
+        result = sweep.results["t0"]["s"]
+        assert payload_to_result(result_to_payload(result)) == result
+
+    def test_corrupt_entry_falls_back_to_simulation(self, tmp_path):
+        traces = _suite(n_traces=1)
+        store = ResultCache(tmp_path)
+        run_sweep(traces, {"s": CONFIGS["Standard"]}, cache=store)
+        for entry in tmp_path.glob("*/*.json"):
+            entry.write_text("{not json")
+        probe = ResultCache(tmp_path)
+        sweep = run_sweep(traces, {"s": CONFIGS["Standard"]}, cache=probe)
+        assert probe.hits == 0
+        assert sweep.results["t0"]["s"].refs == len(traces["t0"])
+
+    def test_clear(self, tmp_path):
+        store = ResultCache(tmp_path)
+        run_sweep(_suite(n_traces=1), CONFIGS, cache=store)
+        assert len(store) == len(CONFIGS)
+        assert store.clear() == len(CONFIGS)
+        assert len(store) == 0
+
+
+class TestTraceFingerprint:
+    def test_stable_and_cached(self):
+        trace = _suite(n_traces=1)["t0"]
+        assert trace.fingerprint() == trace.fingerprint()
+
+    def test_sensitive_to_tags(self):
+        addresses = list(range(0, 512, 8))
+        plain = make_trace(addresses)
+        tagged = make_trace(addresses, temporal=[True] * len(addresses))
+        assert plain.fingerprint() != tagged.fingerprint()
+
+    def test_npz_round_trip_verifies(self, tmp_path):
+        from repro.memtrace.io import load_trace, save_trace
+
+        trace = _suite(n_traces=1)["t0"]
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.fingerprint() == trace.fingerprint()
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_and_auto_mean_all_cpus(self):
+        import os
+
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(0) == expected
+        assert resolve_jobs("auto") == expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs("many")
+        with pytest.raises(ConfigError):
+            resolve_jobs(-2)

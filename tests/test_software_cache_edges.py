@@ -25,7 +25,7 @@ def make_cache(**overrides):
 
 
 def access(cache, address, write=False, temporal=False, spatial=False, now=0):
-    return cache.access(address, write, temporal, spatial, now)
+    return cache.access(address, write, temporal=temporal, spatial=spatial, now=now)
 
 
 class TestWriteBufferPressure:

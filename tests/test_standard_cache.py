@@ -20,7 +20,7 @@ def make_cache(ways=1):
 
 
 def access(cache, address, write=False, now=0):
-    return cache.access(address, write, False, False, now)
+    return cache.access(address, write, temporal=False, spatial=False, now=now)
 
 
 class TestHitsAndMisses:
@@ -131,6 +131,6 @@ class TestObservability:
 
     def test_tags_ignored(self):
         c = make_cache()
-        c.access(0, False, True, True, 0)
-        c.access(128, False, True, True, 10)
-        assert c.access(0, False, True, True, 100) == PENALTY
+        c.access(0, False, temporal=True, spatial=True, now=0)
+        c.access(128, False, temporal=True, spatial=True, now=10)
+        assert c.access(0, False, temporal=True, spatial=True, now=100) == PENALTY

@@ -17,7 +17,7 @@ def make_cache(n_buffers=2, depth=4):
 
 
 def access(cache, address, now):
-    return cache.access(address, False, False, False, now)
+    return cache.access(address, False, temporal=False, spatial=False, now=now)
 
 
 class TestStreamFollowing:

@@ -30,32 +30,32 @@ class TestWriteBack:
 
     def test_dirty_line_written_back_once(self):
         c = make_cache()
-        c.access(0, True, False, False, 0)
-        c.access(0, True, False, False, 100)   # second write: still 1 WB
-        c.access(128, False, False, False, 200)
+        c.access(0, True, temporal=False, spatial=False, now=0)
+        c.access(0, True, temporal=False, spatial=False, now=100)   # second write: still 1 WB
+        c.access(128, False, temporal=False, spatial=False, now=200)
         assert c.stats.writebacks == 1
 
 
 class TestWriteThrough:
     def test_write_hit_drains_to_memory(self):
         c = make_cache(policy="write-through")
-        c.access(0, False, False, False, 0)      # fill
-        c.access(0, True, False, False, 100)     # write hit
+        c.access(0, False, temporal=False, spatial=False, now=0)      # fill
+        c.access(0, True, temporal=False, spatial=False, now=100)     # write hit
         assert c.stats.writebacks == 1
         # Line stays clean: eviction writes nothing further.
-        c.access(128, False, False, False, 200)
+        c.access(128, False, temporal=False, spatial=False, now=200)
         assert c.stats.writebacks == 1
 
     def test_write_miss_with_allocate(self):
         c = make_cache(policy="write-through", allocate=True)
-        c.access(0, True, False, False, 0)
+        c.access(0, True, temporal=False, spatial=False, now=0)
         assert c.stats.misses == 1
         assert c.stats.writebacks == 1
         assert c.contains(0)  # allocated (clean)
 
     def test_write_miss_without_allocate(self):
         c = make_cache(policy="write-through", allocate=False)
-        cycles = c.access(0, True, False, False, 0)
+        cycles = c.access(0, True, temporal=False, spatial=False, now=0)
         assert c.stats.misses == 1
         assert not c.contains(0)
         assert c.stats.lines_fetched == 0
@@ -63,8 +63,8 @@ class TestWriteThrough:
 
     def test_read_path_unchanged(self):
         c = make_cache(policy="write-through")
-        assert c.access(0, False, False, False, 0) == PENALTY
-        assert c.access(8, False, False, False, 100) == 1
+        assert c.access(0, False, temporal=False, spatial=False, now=0) == PENALTY
+        assert c.access(8, False, temporal=False, spatial=False, now=100) == 1
 
     def test_every_store_counted(self):
         c = make_cache(policy="write-through")
