@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-serial lint bench figures clean-cache
+.PHONY: test test-serial lint bench bench-sim figures clean-cache
 
 # Tier-1: the unit/integration/property suite.  REPRO_JOBS=2 keeps the
 # process-pool path (and spec pickling) exercised on every run;
@@ -22,6 +22,12 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Engine throughput benchmark (refs/second per engine, fast-vs-reference
+# speedups).  Writes BENCH_sim.json; compare against the committed copy
+# to catch perf regressions.
+bench-sim:
+	$(PYTHON) -m repro bench --out BENCH_sim.json
 
 figures:
 	$(PYTHON) -m repro run all

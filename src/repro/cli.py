@@ -16,6 +16,8 @@ attribute
     Per-instruction miss attribution of a benchmark (top offenders).
 cache
     Inspect or clear the on-disk result cache.
+bench
+    Measure simulation throughput per engine (writes BENCH_sim.json).
 """
 
 from __future__ import annotations
@@ -54,6 +56,19 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    from .sim.engine import ENGINES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="simulation engine (default: $REPRO_ENGINE or auto; "
+        "'auto' uses the fast batch kernels whenever they are provably "
+        "equivalent to the reference loop)",
+    )
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,6 +85,7 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--chart", action="store_true",
                      help="render ASCII bar charts instead of tables")
     _add_jobs_argument(run)
+    _add_engine_argument(run)
 
     sim = sub.add_parser("simulate", help="simulate a benchmark")
     sim.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
@@ -78,7 +94,29 @@ def _parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--scale", choices=SCALES, default="paper")
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--cross-validate",
+        action="store_true",
+        help="run both engines on every eligible cell and assert "
+        "identical counters (configs with no fast path just run the "
+        "reference engine)",
+    )
     _add_jobs_argument(sim)
+    _add_engine_argument(sim)
+
+    bench = sub.add_parser(
+        "bench", help="measure simulation throughput per engine"
+    )
+    bench.add_argument(
+        "--refs", type=int, default=None, metavar="N",
+        help="trace length (default 400000)",
+    )
+    bench.add_argument("--repeat", type=int, default=3, metavar="K",
+                       help="timing repetitions, best taken (default 3)")
+    bench.add_argument(
+        "--out", default="BENCH_sim.json",
+        help="output JSON path (default BENCH_sim.json; '-' = stdout only)",
+    )
 
     tags = sub.add_parser("tags", help="show compiler locality tags")
     tags.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
@@ -117,7 +155,7 @@ def _cmd_figures() -> int:
 
 def _cmd_run(
     names: List[str], scale: str, chart: bool = False,
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = None, engine: Optional[str] = None,
 ) -> int:
     from .experiments import ALL_FIGURES, EXTENSION_STUDIES
 
@@ -125,6 +163,10 @@ def _cmd_run(
         # Figure drivers have heterogeneous signatures; the environment
         # knob reaches every run_sweep call they make.
         os.environ["REPRO_JOBS"] = str(jobs)
+    if engine is not None:
+        # Same channel as --jobs: every simulate/run_sweep call the
+        # figure drivers make honours $REPRO_ENGINE.
+        os.environ["REPRO_ENGINE"] = engine
     battery = {**ALL_FIGURES, **EXTENSION_STUDIES}
     wanted = list(battery) if names == ["all"] else names
     unknown = [n for n in wanted if n not in battery]
@@ -140,11 +182,25 @@ def _cmd_run(
 
 def _cmd_simulate(
     benchmark: str, config: str, scale: str, seed: int,
-    jobs: Optional[int] = None,
+    jobs: Optional[int] = None, engine: Optional[str] = None,
+    cross_validate: bool = False,
 ) -> int:
     trace = get_trace(benchmark, scale, seed)
     chosen = dict(CONFIGS) if config == "all" else {config: CONFIGS[config]}
-    sweep = run_sweep({benchmark: trace}, chosen, jobs=jobs)
+    if cross_validate:
+        from .sim.engine import cross_validate as check_engines
+        from .sim.engine import fast_refusal
+
+        validated = 0
+        for label, spec in chosen.items():
+            if fast_refusal(spec.build()) is None:
+                check_engines(spec.build, trace)
+                validated += 1
+        print(
+            f"cross-validated {validated}/{len(chosen)} configs: "
+            "fast and reference engines agree on every counter"
+        )
+    sweep = run_sweep({benchmark: trace}, chosen, jobs=jobs, engine=engine)
     rows = {}
     for label, r in sweep.results[benchmark].items():
         rows[label] = {
@@ -155,6 +211,17 @@ def _cmd_simulate(
         }
     print(f"{benchmark} ({len(trace)} references, scale={scale})")
     print(format_table(["AMAT", "miss %", "words/ref", "main hit %"], rows))
+    return 0
+
+
+def _cmd_bench(refs: Optional[int], repeat: int, out: str) -> int:
+    from .harness.bench import DEFAULT_REFS, format_bench, run_bench, write_bench
+
+    payload = run_bench(refs=refs or DEFAULT_REFS, repeat=repeat)
+    print(format_bench(payload))
+    if out != "-":
+        write_bench(payload, out)
+        print(f"wrote {out}")
     return 0
 
 
@@ -212,11 +279,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "figures":
             return _cmd_figures()
         if args.command == "run":
-            return _cmd_run(args.names, args.scale, args.chart, args.jobs)
+            return _cmd_run(
+                args.names, args.scale, args.chart, args.jobs, args.engine
+            )
         if args.command == "simulate":
             return _cmd_simulate(
-                args.benchmark, args.config, args.scale, args.seed, args.jobs
+                args.benchmark, args.config, args.scale, args.seed,
+                args.jobs, args.engine, args.cross_validate,
             )
+        if args.command == "bench":
+            return _cmd_bench(args.refs, args.repeat, args.out)
         if args.command == "tags":
             return _cmd_tags(args.benchmark, args.scale)
         if args.command == "trace":

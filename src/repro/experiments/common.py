@@ -90,6 +90,9 @@ class ExperimentSpec:
     metric_label: str = "AMAT (cycles)"
     benchmarks: Tuple[str, ...] = ()
     notes: str = ""
+    #: Simulation-engine knob (``auto`` / ``reference`` / ``fast``),
+    #: forwarded to the sweep engine and into the result-cache key.
+    engine: str = "auto"
 
     @classmethod
     def create(
@@ -101,6 +104,7 @@ class ExperimentSpec:
         metric_label: str = "AMAT (cycles)",
         benchmarks: Sequence[str] = (),
         notes: str = "",
+        engine: str = "auto",
     ) -> "ExperimentSpec":
         return cls(
             figure=figure,
@@ -110,6 +114,7 @@ class ExperimentSpec:
             metric_label=metric_label,
             benchmarks=tuple(benchmarks),
             notes=notes,
+            engine=engine,
         )
 
     def config_map(self) -> Dict[str, CacheSpec]:
@@ -126,6 +131,7 @@ class ExperimentSpec:
             "metric_label": self.metric_label,
             "benchmarks": list(self.benchmarks),
             "notes": self.notes,
+            "engine": self.engine,
             "configs": [
                 {"name": name, "spec": spec.to_dict()}
                 for name, spec in self.configs
@@ -141,6 +147,7 @@ class ExperimentSpec:
             metric_label=payload.get("metric_label", "AMAT (cycles)"),
             benchmarks=tuple(payload.get("benchmarks", ())),
             notes=payload.get("notes", ""),
+            engine=payload.get("engine", "auto"),
             configs=tuple(
                 (entry["name"], CacheSpec.from_dict(entry["spec"]))
                 for entry in payload["configs"]
@@ -155,11 +162,13 @@ def run_experiment(
     jobs: Union[int, str, None] = None,
     cache: Any = "auto",
     traces: Optional[Mapping[str, Any]] = None,
+    engine: Optional[str] = None,
 ) -> FigureResult:
     """Run one declared experiment through the sweep engine.
 
     ``traces`` overrides the benchmark registry (used by studies whose
-    rows are synthetic traces rather than suite benchmarks).
+    rows are synthetic traces rather than suite benchmarks).  ``engine``
+    overrides the spec's engine knob for this run.
     """
     from ..harness.runner import run_sweep
     from ..workloads.registry import BENCHMARK_ORDER, get_trace
@@ -167,7 +176,18 @@ def run_experiment(
     if traces is None:
         names = spec.benchmarks or BENCHMARK_ORDER
         traces = {name: get_trace(name, scale, seed) for name in names}
-    sweep = run_sweep(traces, spec.config_map(), jobs=jobs, cache=cache)
+    if engine is None:
+        # The spec's default "auto" defers to $REPRO_ENGINE (the CLI's
+        # channel into figure drivers); a spec pinned to a concrete
+        # engine wins over the environment.
+        engine = spec.engine if spec.engine != "auto" else None
+    sweep = run_sweep(
+        traces,
+        spec.config_map(),
+        jobs=jobs,
+        cache=cache,
+        engine=engine,
+    )
     result = FigureResult(
         figure=spec.figure,
         title=spec.title,

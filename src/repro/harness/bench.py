@@ -1,0 +1,141 @@
+"""Perf-regression microbenchmark of the simulation engines.
+
+``python -m repro bench`` (or ``make bench-sim``) measures simulation
+throughput — *references simulated per second* — for a small battery of
+representative configurations, on every engine each configuration
+supports, and writes the measurements to ``BENCH_sim.json``.  CI runs a
+scaled-down smoke version of the same battery and uploads the file as
+an artifact, so engine regressions show up as a number, not a feeling.
+
+The workload is a deterministic synthetic trace (uniform addresses over
+a working set four times the cache, 30% writes, tagged references,
+realistic inter-reference gaps) — dense enough to exercise misses,
+write-backs and the temporal machinery at a stable ~60% miss ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.spec import CacheSpec
+from ..memtrace.trace import Trace
+from ..sim.driver import simulate
+from ..sim.engine import fast_refusal
+
+#: Default battery: the paper's Standard configuration on both model
+#: classes (both have fast paths) and the full software-assisted
+#: configuration (bounce-back cache: reference engine only).
+BENCH_CONFIGS = ("standard", "standard_cache", "soft")
+
+#: Default trace length; long enough that per-call overhead vanishes.
+DEFAULT_REFS = 400_000
+
+
+def bench_trace(refs: int = DEFAULT_REFS, seed: int = 12345) -> Trace:
+    """The deterministic synthetic benchmark trace."""
+    rng = np.random.default_rng(seed)
+    # 8 KB caches -> 32 KB working set (4096 words of 8 bytes).
+    addresses = rng.integers(0, 4096, refs, dtype=np.int64) * 8
+    return Trace(
+        addresses,
+        rng.random(refs) < 0.3,
+        rng.random(refs) < 0.2,
+        rng.random(refs) < 0.2,
+        rng.integers(0, 4, refs).astype(np.int64),
+        name=f"bench-{refs}",
+    )
+
+
+def _time_once(spec: CacheSpec, trace: Trace, engine: str) -> float:
+    model = spec.build()
+    begin = time.perf_counter()
+    simulate(model, trace, engine=engine)
+    return time.perf_counter() - begin
+
+
+def _bench_specs(configs: Sequence[str]) -> Dict[str, CacheSpec]:
+    """Resolve battery names: preset specs first, then raw spec kinds
+    (``standard_cache`` is a kind with no preset alias)."""
+    from ..presets import SPECS
+
+    return {
+        name: SPECS[name] if name in SPECS else CacheSpec.of(name)
+        for name in configs
+    }
+
+
+def run_bench(
+    refs: int = DEFAULT_REFS,
+    repeat: int = 3,
+    configs: Sequence[str] = BENCH_CONFIGS,
+) -> Dict:
+    """Measure every (config, supported engine) pair; best of ``repeat``.
+
+    Returns the ``BENCH_sim.json`` payload: per-pair throughput plus a
+    fast-over-reference speedup summary for configs that support both.
+    """
+    specs = _bench_specs(configs)
+    trace = bench_trace(refs)
+    rows: List[Dict] = []
+    speedups: Dict[str, float] = {}
+    by_engine: Dict[str, Dict[str, float]] = {}
+
+    for name, spec in specs.items():
+        engines = ["reference"]
+        if fast_refusal(spec.build()) is None:
+            engines.append("fast")
+        for engine in engines:
+            seconds = min(_time_once(spec, trace, engine) for _ in range(repeat))
+            throughput = refs / seconds
+            rows.append(
+                {
+                    "config": name,
+                    "engine": engine,
+                    "seconds": round(seconds, 6),
+                    "refs_per_sec": round(throughput),
+                }
+            )
+            by_engine.setdefault(name, {})[engine] = throughput
+    for name, measured in by_engine.items():
+        if "fast" in measured:
+            speedups[name] = round(measured["fast"] / measured["reference"], 2)
+
+    return {
+        "refs": refs,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": rows,
+        "fast_speedup": speedups,
+    }
+
+
+def write_bench(
+    payload: Dict, out: Optional[str] = "BENCH_sim.json"
+) -> None:
+    """Write the payload (None = stdout only)."""
+    if out:
+        with open(out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+
+def format_bench(payload: Dict) -> str:
+    """Human-readable rendering of a bench payload."""
+    lines = [
+        f"simulation throughput ({payload['refs']} refs, "
+        f"best of {payload['repeat']})"
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"  {row['config']:>16} [{row['engine']:>9}]  "
+            f"{row['refs_per_sec'] / 1e6:7.3f} Mrefs/s"
+        )
+    for name, speedup in payload["fast_speedup"].items():
+        lines.append(f"  {name}: fast engine is {speedup}x reference")
+    return "\n".join(lines)

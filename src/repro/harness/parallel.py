@@ -11,8 +11,10 @@ speed levers:
   closures never cross the process boundary.
 * **a content-addressed result cache** — every finished cell is stored
   on disk keyed by ``sha256(simulator version, trace fingerprint, spec
-  fingerprint)``, so re-running an unchanged cell costs one small JSON
-  read instead of a simulation.
+  fingerprint, engine)``, so re-running an unchanged cell costs one
+  small JSON read instead of a simulation.  The engine knob is part of
+  the key so results from different engines can never alias, even
+  though the fast engine is validated to be counter-identical.
 
 Knobs (all also honoured by ``python -m repro run/simulate --jobs``):
 
@@ -46,6 +48,7 @@ from ..core.spec import CacheSpec
 from ..errors import ConfigError
 from ..memtrace.trace import Trace
 from ..sim.driver import simulate
+from ..sim.engine import resolve_engine
 from ..sim.result import SimResult
 
 #: Bump on any change that alters simulation results; invalidates the
@@ -114,10 +117,10 @@ def payload_to_result(payload: Dict) -> SimResult:
 class ResultCache:
     """Content-addressed on-disk store of finished sweep cells.
 
-    Keys are ``sha256(SIM_VERSION, trace fingerprint, spec fingerprint)``;
-    values are the raw :class:`SimResult` counters as JSON.  Counters are
-    integers, so the round-trip is lossless and cached cells are
-    byte-identical to freshly simulated ones.
+    Keys are ``sha256(SIM_VERSION, trace fingerprint, spec fingerprint,
+    engine)``; values are the raw :class:`SimResult` counters as JSON.
+    Counters are integers, so the round-trip is lossless and cached
+    cells are byte-identical to freshly simulated ones.
     """
 
     def __init__(self, root: Union[str, os.PathLike, None] = None) -> None:
@@ -126,10 +129,15 @@ class ResultCache:
         self.misses = 0
 
     @staticmethod
-    def key(trace_fingerprint: str, spec_fingerprint: str) -> str:
+    def key(
+        trace_fingerprint: str, spec_fingerprint: str, engine: str = "auto"
+    ) -> str:
         import hashlib
 
-        material = f"{SIM_VERSION}\n{trace_fingerprint}\n{spec_fingerprint}"
+        material = (
+            f"{SIM_VERSION}\n{trace_fingerprint}\n{spec_fingerprint}"
+            f"\n{engine}"
+        )
         return hashlib.sha256(material.encode()).hexdigest()
 
     def _path(self, key: str) -> Path:
@@ -200,27 +208,30 @@ def _open_cache(
 # ----------------------------------------------------------------------
 # Workers
 # ----------------------------------------------------------------------
-def simulate_cell(payload: Tuple[Trace, CacheSpec]) -> SimResult:
+def simulate_cell(payload: Tuple[Trace, CacheSpec, str]) -> SimResult:
     """Pool work unit: simulate one (trace, spec) cell on a cold cache.
 
     Module-level (not a closure) so it pickles under every start method.
     """
-    trace, spec = payload
-    return simulate(spec.build(), trace)
+    trace, spec, engine = payload
+    return simulate(spec.build(), trace, engine=engine)
 
 
 def run_cells(
     cells: Sequence[Tuple[Trace, CacheSpec]],
     jobs: Union[int, str, None] = None,
     cache: Union[ResultCache, str, os.PathLike, None, bool] = "auto",
+    engine: Optional[str] = None,
 ) -> List[SimResult]:
     """Run independent (trace, spec) cells, in submitted order.
 
     Cache hits are resolved first; the remaining cells run serially
     (``jobs == 1``) or on a process pool.  The returned list is aligned
-    with ``cells`` regardless of completion order.
+    with ``cells`` regardless of completion order.  ``engine`` is the
+    simulation-engine knob (resolved once; part of the cache key).
     """
     jobs = resolve_jobs(jobs)
+    engine = resolve_engine(engine)
     store = _open_cache(cache)
     results: List[Optional[SimResult]] = [None] * len(cells)
     pending: List[int] = []
@@ -228,7 +239,7 @@ def run_cells(
 
     for index, (trace, spec) in enumerate(cells):
         if store is not None:
-            key = store.key(trace.fingerprint(), spec.fingerprint())
+            key = store.key(trace.fingerprint(), spec.fingerprint(), engine)
             keys[index] = key
             cached = store.get(key)
             if cached is not None:
@@ -237,13 +248,14 @@ def run_cells(
         pending.append(index)
 
     if pending:
+        payloads = [(cells[i][0], cells[i][1], engine) for i in pending]
         if jobs == 1 or len(pending) == 1:
-            fresh = [simulate_cell(cells[i]) for i in pending]
+            fresh = [simulate_cell(payload) for payload in payloads]
         else:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
                 # map() preserves submission order even when cells
                 # complete out of order under the pool.
-                fresh = list(pool.map(simulate_cell, [cells[i] for i in pending]))
+                fresh = list(pool.map(simulate_cell, payloads))
         for index, result in zip(pending, fresh):
             results[index] = result
             if store is not None:

@@ -79,6 +79,7 @@ def run_sweep(
     configs: Mapping[str, ConfigLike],
     jobs: Union[int, str, None] = None,
     cache: Union[ResultCache, str, os.PathLike, None, bool] = "auto",
+    engine: Optional[str] = None,
 ) -> Sweep:
     """Simulate every trace against every configuration (fresh caches).
 
@@ -86,7 +87,9 @@ def run_sweep(
     else 1 — the serial path, bit-identical to parallel runs).  ``cache``
     selects the on-disk result cache (``"auto"`` = the default store
     unless ``REPRO_CACHE`` disables it; ``None`` = off; a path or
-    :class:`ResultCache` = a specific store).
+    :class:`ResultCache` = a specific store).  ``engine`` selects the
+    simulation engine (default: ``REPRO_ENGINE`` env var, else
+    ``auto``); it is part of the result-cache key.
     """
     # Submitted order: row-major over the input mappings.  The Sweep is
     # assembled from this list after all cells complete, so parallel
@@ -105,7 +108,10 @@ def run_sweep(
     cell_results: Dict[int, SimResult] = {}
     if spec_cells:
         outcomes = run_cells(
-            [cell for _, cell in spec_cells], jobs=jobs, cache=cache
+            [cell for _, cell in spec_cells],
+            jobs=jobs,
+            cache=cache,
+            engine=engine,
         )
         for (index, _), result in zip(spec_cells, outcomes):
             cell_results[index] = result
@@ -114,6 +120,6 @@ def run_sweep(
     for index, (trace_name, config_name, config) in enumerate(grid):
         result = cell_results.get(index)
         if result is None:  # legacy factory: serial, uncached
-            result = simulate(config(), traces[trace_name])
+            result = simulate(config(), traces[trace_name], engine=engine)
         sweep.add(trace_name, config_name, result)
     return sweep

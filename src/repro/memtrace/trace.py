@@ -106,6 +106,7 @@ class Trace:
         self.gaps = gaps
         self.name = name
         self._fingerprint = None
+        self._columns_list = None
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -126,7 +127,7 @@ class Trace:
         )
 
     def columns(self) -> Tuple[List[int], List[bool], List[bool], List[bool], List[int]]:
-        """Return the five columns as plain Python lists (hot-path form)."""
+        """Return the five columns as fresh plain Python lists."""
         return (
             self.addresses.tolist(),
             self.is_write.tolist(),
@@ -134,6 +135,22 @@ class Trace:
             self.spatial.tolist(),
             self.gaps.tolist(),
         )
+
+    def columns_list(
+        self,
+    ) -> Tuple[List[int], List[bool], List[bool], List[bool], List[int]]:
+        """The five columns as plain Python lists, materialised once.
+
+        The ``.tolist()`` conversion turns numpy scalars into native ints
+        and bools, which the per-reference simulation loop consumes far
+        faster than numpy scalar extraction.  The conversion is cached so
+        ``simulate_many`` and the sweep/hierarchy drivers pay it once per
+        trace rather than once per model.  Callers must treat the lists
+        as read-only (traces are immutable by convention).
+        """
+        if self._columns_list is None:
+            self._columns_list = self.columns()
+        return self._columns_list
 
     def fingerprint(self) -> str:
         """Stable content hash over every column plus the name (hex).

@@ -5,6 +5,13 @@ from .belady import simulate_belady
 from .bypass import BypassCache
 from .column_assoc import ColumnAssociativeCache
 from .driver import simulate, simulate_many
+from .engine import (
+    ENGINES,
+    EngineMismatchError,
+    cross_validate,
+    resolve_engine,
+    select_engine,
+)
 from .geometry import CacheGeometry
 from .hierarchy import TwoLevelCache
 from .result import SimResult
@@ -27,6 +34,11 @@ __all__ = [
     "StreamBufferCache",
     "SubBlockCache",
     "TwoLevelCache",
+    "ENGINES",
+    "EngineMismatchError",
+    "cross_validate",
+    "resolve_engine",
+    "select_engine",
     "simulate",
     "simulate_belady",
     "simulate_many",

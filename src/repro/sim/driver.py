@@ -4,14 +4,20 @@ Walks a trace through a cache model, maintaining the clock.  The clock
 advances by the recorded inter-reference gap (issue rate, figure 4b) plus
 the stall of the previous access beyond its pipelined hit slot — so
 write-buffer drain and prefetch arrival see realistic wall-clock times.
+
+The ``engine`` knob selects between the two simulation tiers (see
+:mod:`repro.sim.engine`): the per-reference ``reference`` loop below,
+and the exact batch kernels of :mod:`repro.sim.fast`.  The default
+(``auto``) uses the fast engine whenever the model proves equivalence.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from ..memtrace.trace import Trace
 from .base import CacheModel
+from .engine import select_engine
 from .result import SimResult
 
 
@@ -20,6 +26,7 @@ def simulate(
     trace: Trace,
     reset: bool = True,
     warmup_refs: int = 0,
+    engine: Optional[str] = None,
 ) -> SimResult:
     """Run ``trace`` through ``model`` and return the finalised result.
 
@@ -28,16 +35,26 @@ def simulate(
     first N references to warm the cache state and then discards their
     counters, so the result reflects steady-state behaviour only (the
     paper measures whole cold-start traces; warm-up is offered for
-    methodological comparisons).
+    methodological comparisons).  ``engine`` is ``auto`` / ``reference``
+    / ``fast`` (default: ``$REPRO_ENGINE`` or ``auto``); the selection
+    actually used is recorded in ``SimResult.engine``.
     """
-    if reset:
-        model.reset()
     if warmup_refs < 0:
         raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
-    addresses, is_write, temporal, spatial, gaps = trace.columns()
+    chosen, _ = select_engine(
+        engine, model, reset=reset, warmup_refs=warmup_refs
+    )
+    if chosen == "fast":
+        from .fast import simulate_fast
+
+        return simulate_fast(model, trace)
+
+    if reset:
+        model.reset()
+    addresses, is_write, temporal, spatial, gaps = trace.columns_list()
     access = model.access
-    hit_time = getattr(model, "timing", None)
-    pipelined = hit_time.hit_time if hit_time is not None else 1
+    timing = getattr(model, "timing", None)
+    pipelined = timing.hit_time if timing is not None else 1
 
     clock = 0
     total = 0
@@ -62,6 +79,7 @@ def simulate(
 
     stats = model.stats
     stats.trace = trace.name
+    stats.engine = "reference"
     stats.cycles = total
     if warm_snapshot is not None:
         warm_cycles, counters = warm_snapshot
@@ -86,7 +104,14 @@ def _snapshot(stats: SimResult) -> dict:
 
 
 def simulate_many(
-    models: Iterable[CacheModel], trace: Trace
+    models: Iterable[CacheModel],
+    trace: Trace,
+    engine: Optional[str] = None,
 ) -> List[SimResult]:
-    """Run the same trace through several models (fresh state each)."""
-    return [simulate(model, trace) for model in models]
+    """Run the same trace through several models (fresh state each).
+
+    The trace's column lists are materialised once and shared across
+    all models (:meth:`~repro.memtrace.trace.Trace.columns_list`).
+    """
+    trace.columns_list()
+    return [simulate(model, trace, engine=engine) for model in models]

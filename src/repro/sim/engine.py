@@ -1,0 +1,137 @@
+"""Engine selection: the two-tier simulation engine's front door.
+
+Every simulation names an *engine*:
+
+``reference``
+    The per-reference Python loop (:mod:`repro.sim.driver` walking
+    ``model.access``).  Always available, defines the semantics.
+``fast``
+    The batch kernels of :mod:`repro.sim.fast`.  Exact — counter- and
+    state-identical to the reference engine — but only for
+    configurations whose equivalence is *provable* from the config
+    alone (write-back LRU, no bounce-back cache, no virtual lines, no
+    prefetching, no warm-up window, cold start).
+``auto`` (the default)
+    Picks ``fast`` when the model proves equivalent, else silently
+    falls back to ``reference``.  The selection is recorded in
+    ``SimResult.engine``.
+
+Models opt in by implementing ``fast_engine_refusal() -> Optional[str]``
+— returning ``None`` when the batch kernels apply, or a human-readable
+reason why not.  The check is *conservative by construction*: any model
+without the hook, and any configuration the hook cannot vouch for, runs
+on the reference engine.
+
+``REPRO_ENGINE`` sets the default engine when the caller passes none
+(mirrors ``REPRO_JOBS``); :func:`cross_validate` runs both engines on
+fresh models and asserts every counter matches.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Tuple
+
+from ..errors import ConfigError, ReproError
+from .result import SimResult
+
+#: Valid values of the engine knob.
+ENGINES = ("auto", "reference", "fast")
+
+#: SimResult counter fields compared by cross-validation (everything
+#: except the engine tag and the trace/cache labels).
+PARITY_FIELDS = (
+    "refs", "cycles", "hits_main", "hits_assist", "misses",
+    "lines_fetched", "words_fetched", "writebacks", "bounce_backs",
+    "bounce_aborts", "swaps", "invalidations", "prefetches_issued",
+    "prefetch_hits", "write_buffer_stalls",
+)
+
+
+class EngineMismatchError(ReproError):
+    """Cross-validation found fast/reference counters disagreeing."""
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve the engine knob: explicit argument > ``REPRO_ENGINE`` >
+    ``auto``; validates the value."""
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or "auto"
+    engine = engine.strip().lower()
+    if engine not in ENGINES:
+        raise ConfigError(f"engine {engine!r} not in {ENGINES}")
+    return engine
+
+
+def fast_refusal(
+    model, reset: bool = True, warmup_refs: int = 0
+) -> Optional[str]:
+    """Why the fast engine cannot run this simulation (None = it can).
+
+    Run-shape conditions (cold start, no warm-up) are checked here; the
+    model vouches for its own configuration through its
+    ``fast_engine_refusal`` hook.
+    """
+    if not reset:
+        return "continuation from warm cache state"
+    if warmup_refs:
+        return "warm-up window discards a counter prefix"
+    hook = getattr(model, "fast_engine_refusal", None)
+    if hook is None:
+        return f"{type(model).__name__} has no batch kernel"
+    return hook()
+
+
+def select_engine(
+    engine: Optional[str],
+    model,
+    reset: bool = True,
+    warmup_refs: int = 0,
+) -> Tuple[str, Optional[str]]:
+    """Resolve the knob against a concrete simulation.
+
+    Returns ``(chosen, refusal_reason)`` where ``chosen`` is
+    ``"fast"`` or ``"reference"``.  ``engine="fast"`` raises
+    :class:`~repro.errors.ConfigError` when equivalence cannot be
+    proved, rather than silently running a different simulation.
+    """
+    engine = resolve_engine(engine)
+    if engine == "reference":
+        return "reference", None
+    reason = fast_refusal(model, reset=reset, warmup_refs=warmup_refs)
+    if reason is None:
+        return "fast", None
+    if engine == "fast":
+        raise ConfigError(
+            f"engine='fast' is not equivalent for {model.name!r}: {reason}"
+        )
+    return "reference", reason
+
+
+def cross_validate(
+    build: Callable[[], object], trace, engine_result: str = "reference"
+) -> SimResult:
+    """Run both engines on fresh models and assert identical counters.
+
+    ``build`` constructs a fresh model (a ``CacheSpec.build`` bound
+    method, a preset factory...).  Returns the result of
+    ``engine_result``.  Raises :class:`EngineMismatchError` listing
+    every differing counter, or :class:`~repro.errors.ConfigError` when
+    the configuration has no fast path to validate against.
+    """
+    from .driver import simulate
+
+    reference = simulate(build(), trace, engine="reference")
+    fast = simulate(build(), trace, engine="fast")
+    mismatches = [
+        f"{name}: reference={getattr(reference, name)} "
+        f"fast={getattr(fast, name)}"
+        for name in PARITY_FIELDS
+        if getattr(reference, name) != getattr(fast, name)
+    ]
+    if mismatches:
+        raise EngineMismatchError(
+            f"engines disagree on {reference.cache!r} x {trace.name!r}: "
+            + "; ".join(mismatches)
+        )
+    return reference if engine_result == "reference" else fast

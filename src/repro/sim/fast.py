@@ -1,0 +1,378 @@
+"""Vectorized simulation engine (the "fast" tier).
+
+The reference engine walks the trace one reference at a time through a
+Python loop.  This module computes the *same* counters — exactly, not
+approximately — with batch kernels, for the configurations
+:mod:`repro.sim.engine` can prove equivalent: write-back LRU caches with
+no bounce-back cache, no virtual lines and no prefetching (the paper's
+"Standard" configuration for both :class:`~repro.sim.standard
+.StandardCache` and the software-assisted model).
+
+Why exactness is possible
+-------------------------
+*Functional* behaviour of a direct-mapped LRU cache is a pure group-by:
+a reference hits iff the previous reference to the same set touched the
+same line, and a victim is dirty iff any store touched the evicted
+line's residency run.  Both reduce to numpy primitives over the trace
+sorted (stably) by set index.  Set-associative geometries fall back to
+per-set short-stream loops: the same per-reference logic, but stripped
+of all timing/stats work and run over precomputed per-set subsequences.
+
+*Timing* decouples because for the supported models every access
+satisfies ``ready_at == now + cycles`` and costs at least the pipelined
+hit time ``H``.  The driver's clock rule then gives, for every reference
+``i > 0``::
+
+    wait_i  = max(0, H - gap_i)                      (history-free!)
+    start_i = start_{i-1} + stall_{i-1}
+              + (penalty - H if miss_{i-1} else 0) + max(gap_i, H)
+
+so start times are a prefix sum perturbed only by write-buffer stalls —
+and stalls occur only at dirty-victim evictions, which are replayed
+through the real :class:`~repro.sim.write_buffer.WriteBuffer` in a loop
+over *push events only* (a small fraction of the trace).
+
+The kernel also materialises the model's final state (cache contents,
+``stats``, write buffer, ``_ready_at``), so a fast run is substitutable
+for a reference run even for callers that inspect the model afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..memtrace.trace import Trace
+from .result import SimResult
+from .write_buffer import WriteBuffer
+
+
+class _Functional:
+    """Output of the functional pass, in original trace order."""
+
+    __slots__ = ("hits", "victim_dirty", "final_sets")
+
+    def __init__(
+        self,
+        hits: np.ndarray,
+        victim_dirty: np.ndarray,
+        final_sets: List[Tuple[int, int, bool, bool]],
+    ) -> None:
+        self.hits = hits
+        self.victim_dirty = victim_dirty
+        #: (set index, line address, dirty, temporal) of every line
+        #: resident at the end of the trace, MRU-first within a set.
+        self.final_sets = final_sets
+
+
+def _functional_direct_mapped(
+    la: np.ndarray,
+    sets: np.ndarray,
+    is_write: np.ndarray,
+    temporal: np.ndarray,
+) -> _Functional:
+    """Exact hit/victim analysis of a direct-mapped LRU cache.
+
+    Stable-sorting by set index makes each set's reference subsequence
+    contiguous; within it, consecutive equal line addresses form a
+    *residency run* (a fill plus its hits — any other line address would
+    have evicted the resident line).  Hits, victim dirtiness and final
+    contents are all per-run aggregates.
+    """
+    n = len(la)
+    order = np.argsort(sets, kind="stable")
+    la_s = la[order]
+    set_s = sets[order]
+    w_s = is_write[order]
+
+    same_set = np.zeros(n, dtype=bool)
+    same_set[1:] = set_s[1:] == set_s[:-1]
+    hit_s = np.zeros(n, dtype=bool)
+    hit_s[1:] = same_set[1:] & (la_s[1:] == la_s[:-1])
+    miss_s = ~hit_s
+
+    # Runs never span sets: a set-group boundary always starts a miss.
+    run_id = np.cumsum(miss_s) - 1
+    n_runs = int(run_id[-1]) + 1
+    run_dirty = np.bincount(run_id, weights=w_s, minlength=n_runs) > 0
+    run_temporal = (
+        np.bincount(run_id, weights=temporal[order], minlength=n_runs) > 0
+    )
+
+    # A miss that is not first-in-set evicts the previous run's line.
+    victim_s = miss_s & same_set
+    victim_dirty_s = np.zeros(n, dtype=bool)
+    victim_dirty_s[victim_s] = run_dirty[run_id[victim_s] - 1]
+
+    hits = np.empty(n, dtype=bool)
+    hits[order] = hit_s
+    victim_dirty = np.empty(n, dtype=bool)
+    victim_dirty[order] = victim_dirty_s
+
+    # Final contents: the last run of each set group survives.
+    group_last = np.nonzero(set_s[1:] != set_s[:-1])[0].tolist() + [n - 1]
+    final_sets = [
+        (
+            int(set_s[j]),
+            int(la_s[j]),
+            bool(run_dirty[run_id[j]]),
+            bool(run_temporal[run_id[j]]),
+        )
+        for j in group_last
+    ]
+    return _Functional(hits, victim_dirty, final_sets)
+
+
+def _functional_set_associative(
+    la: np.ndarray,
+    sets: np.ndarray,
+    is_write: np.ndarray,
+    temporal: np.ndarray,
+    ways: int,
+    temporal_priority: bool,
+) -> _Functional:
+    """Per-set short-stream fallback for ``ways > 1`` geometries.
+
+    Functionally the reference LRU loop, but run per set over
+    precomputed index streams with no stats/timing work per reference.
+    ``temporal_priority`` selects the figure-9b victim rule (LRU among
+    non-temporal lines) instead of plain LRU.
+    """
+    n = len(la)
+    order = np.argsort(sets, kind="stable")
+    set_s = sets[order]
+    boundaries = np.nonzero(set_s[1:] != set_s[:-1])[0] + 1
+    starts = [0] + boundaries.tolist()
+    ends = boundaries.tolist() + [n]
+
+    hits = np.zeros(n, dtype=bool)
+    victim_dirty = np.zeros(n, dtype=bool)
+    final_sets: List[Tuple[int, int, bool, bool]] = []
+
+    la_list = la.tolist()
+    w_list = is_write.tolist()
+    t_list = temporal.tolist()
+    order_list = order.tolist()
+
+    for lo, hi in zip(starts, ends):
+        entries: List[List] = []  # MRU-first [addr, dirty, temporal]
+        for j in range(lo, hi):
+            index = order_list[j]
+            line = la_list[index]
+            for position, entry in enumerate(entries):
+                if entry[0] == line:
+                    if position:
+                        del entries[position]
+                        entries.insert(0, entry)
+                    if w_list[index]:
+                        entry[1] = True
+                    if t_list[index]:
+                        entry[2] = True
+                    hits[index] = True
+                    break
+            else:
+                if len(entries) >= ways:
+                    victim_index = len(entries) - 1
+                    if temporal_priority:
+                        for k in range(len(entries) - 1, -1, -1):
+                            if not entries[k][2]:
+                                victim_index = k
+                                break
+                    victim = entries.pop(victim_index)
+                    victim_dirty[index] = victim[1]
+                entries.insert(0, [line, w_list[index], t_list[index]])
+        set_index = int(set_s[lo])
+        for entry in entries:
+            final_sets.append(
+                (set_index, entry[0], bool(entry[1]), bool(entry[2]))
+            )
+    return _Functional(hits, victim_dirty, final_sets)
+
+
+class _Timing:
+    """Output of the timing pass."""
+
+    __slots__ = (
+        "cycles", "stalls", "write_buffer", "ready_at", "bus_free_at"
+    )
+
+    def __init__(self, cycles, stalls, write_buffer, ready_at, bus_free_at):
+        self.cycles = cycles
+        self.stalls = stalls
+        self.write_buffer = write_buffer
+        self.ready_at = ready_at
+        self.bus_free_at = bus_free_at
+
+
+def _accumulate_timing(
+    gaps: np.ndarray,
+    hits: np.ndarray,
+    victim_dirty: np.ndarray,
+    hit_time: int,
+    penalty: int,
+    wb_entries: int,
+    wb_drain: int,
+) -> _Timing:
+    """Exact cycle/stall accounting over the miss mask.
+
+    ``start`` times without stalls are a prefix sum (see module
+    docstring); each write-buffer stall shifts every later start by the
+    same amount, so the replay walks push events only, carrying the
+    cumulative offset.  Two closed forms skip even that walk: pushes
+    happen at starts of dirty-miss accesses, which are at least
+    ``penalty`` cycles apart — so with ``penalty >= drain`` a buffered
+    write buffer can never back up (every push finds it empty), and an
+    unbuffered one (``entries == 0``) stalls exactly ``drain`` per push.
+    """
+    n = len(gaps)
+    n_hits = int(hits.sum())
+    n_misses = n - n_hits
+
+    wait = hit_time - gaps
+    np.clip(wait, 0, None, out=wait)
+    wait[0] = 0
+
+    delta = np.maximum(gaps, hit_time)
+    delta[0] = gaps[0]
+    delta[1:] += (penalty - hit_time) * (~hits[:-1])
+    base_start = np.cumsum(delta)
+
+    write_buffer = WriteBuffer(wb_entries, wb_drain)
+    offset = 0
+    last_push_index = -1
+    last_push_stall = 0
+    pushes = np.nonzero(victim_dirty)[0]
+    if len(pushes) and wb_entries == 0:
+        # Unbuffered: the processor eats the full drain on every push.
+        n_pushes = len(pushes)
+        offset = n_pushes * wb_drain
+        last_push_index = int(pushes[-1])
+        last_push_stall = wb_drain
+        write_buffer.pushes = n_pushes
+        write_buffer.stall_cycles = offset
+    elif len(pushes) and penalty >= wb_drain:
+        # Never backs up: zero stall per push, and at the last push the
+        # buffer was found empty, so exactly one entry is left draining.
+        last_push_index = int(pushes[-1])
+        write_buffer.pushes = len(pushes)
+        write_buffer._completions.append(
+            int(base_start[last_push_index]) + wb_drain
+        )
+    else:
+        for index in pushes.tolist():
+            stall = write_buffer.push(int(base_start[index]) + offset)
+            offset += stall
+            last_push_index = index
+            last_push_stall = stall
+
+    cycles = (
+        int(wait.sum()) + offset
+        + hit_time * n_hits + penalty * n_misses
+    )
+
+    ready_at = (
+        int(base_start[-1]) + offset
+        + (hit_time if hits[-1] else penalty)
+    )
+    # The memory bus finishes with the last miss's transfer; its start
+    # excludes that access's own victim stall (the fetch is requested
+    # before the victim drains).
+    misses = np.nonzero(~hits)[0]
+    if len(misses):
+        last_miss = int(misses[-1])
+        before = offset - (
+            last_push_stall if last_push_index == last_miss else 0
+        )
+        bus_free_at = int(base_start[last_miss]) + before + penalty
+    else:
+        bus_free_at = 0
+    return _Timing(cycles, offset, write_buffer, ready_at, bus_free_at)
+
+
+def simulate_fast(model, trace: Trace) -> SimResult:
+    """Run ``trace`` through the batch kernels and return the result.
+
+    ``model`` must have been accepted by
+    :func:`repro.sim.engine.fast_refusal` — a write-back LRU cache with
+    no assist structures.  The model is reset, its counters computed in
+    batch, and its final state materialised as if the reference engine
+    had run.
+    """
+    model.reset()
+    stats = model.stats
+    stats.trace = trace.name
+    stats.engine = "fast"
+    n = len(trace)
+    if n == 0:
+        stats.check()
+        return stats
+
+    geometry = model.geometry
+    timing = model.timing
+    n_sets = geometry.n_sets
+    ways = geometry.ways
+    hit_time = timing.hit_time
+    penalty = timing.latency + timing.transfer_cycles(geometry.line_size)
+    words_per_line = geometry.line_size // 8
+
+    la = trace.addresses >> geometry.line_shift
+    sets = la % n_sets
+    if ways == 1:
+        functional = _functional_direct_mapped(
+            la, sets, trace.is_write, trace.temporal
+        )
+    else:
+        functional = _functional_set_associative(
+            la, sets, trace.is_write, trace.temporal, ways,
+            bool(getattr(model, "_temporal_priority", False)),
+        )
+
+    timed = _accumulate_timing(
+        trace.gaps.astype(np.int64, copy=True),
+        functional.hits,
+        functional.victim_dirty,
+        hit_time,
+        penalty,
+        model.write_buffer.entries,
+        model.write_buffer.drain_cycles,
+    )
+
+    stats.refs = n
+    stats.hits_main = int(functional.hits.sum())
+    stats.misses = n - stats.hits_main
+    stats.lines_fetched = stats.misses
+    stats.words_fetched = stats.misses * words_per_line
+    stats.writebacks = int(functional.victim_dirty.sum())
+    stats.write_buffer_stalls = timed.stalls
+    stats.cycles = timed.cycles
+
+    _materialise_state(model, trace, functional, timed)
+    stats.check()
+    return stats
+
+
+def _materialise_state(
+    model, trace: Trace, functional: _Functional, timed: _Timing
+) -> None:
+    """Leave the model exactly as the reference engine would have."""
+    model.write_buffer = timed.write_buffer
+    model._ready_at = timed.ready_at
+    if hasattr(model, "_bus_free_at"):
+        model._bus_free_at = timed.bus_free_at
+
+    last_la = int(trace.addresses[-1]) >> model.geometry.line_shift
+    model.last_fetch = [] if functional.hits[-1] else [last_la]
+
+    tracks_temporal = model._entry_has_temporal
+    if getattr(model, "_tags", None) is not None:
+        # Array-backed direct-mapped state.
+        for set_index, line, dirty, temporal in functional.final_sets:
+            model._tags[set_index] = line
+            model._dirty[set_index] = dirty
+            if tracks_temporal:
+                model._temporal[set_index] = temporal
+    else:
+        for set_index, line, dirty, temporal in functional.final_sets:
+            entry = [line, dirty, temporal] if tracks_temporal else [line, dirty]
+            model._sets[set_index].append(entry)

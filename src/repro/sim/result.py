@@ -22,6 +22,11 @@ class SimResult:
 
     cache: str = ""
     trace: str = ""
+    #: Which engine produced this record ("reference" or "fast").  The
+    #: two engines are counter-identical by construction, so the field
+    #: is excluded from equality; it exists for observability and for
+    #: the result-cache fingerprint (fast/reference cells never alias).
+    engine: str = field(default="", compare=False)
     refs: int = 0
     cycles: int = 0
     hits_main: int = 0
