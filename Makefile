@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-serial lint bench bench-sim figures clean-cache
+.PHONY: test test-serial lint bench bench-sim trace-demo figures clean-cache
 
 # Tier-1: the unit/integration/property suite.  REPRO_JOBS=2 keeps the
 # process-pool path (and spec pickling) exercised on every run;
@@ -28,6 +28,20 @@ bench:
 # to catch perf regressions.
 bench-sim:
 	$(PYTHON) -m repro bench --out BENCH_sim.json
+
+# External-trace pipeline end to end: import the bundled dinero sample
+# into a chunked v2 store (with dynamic tag annotation), inspect it,
+# and simulate it out-of-core on the standard and soft configurations.
+# See docs/traces.md.
+trace-demo:
+	$(PYTHON) -m repro trace import examples/sample.din \
+		--out /tmp/repro-sample.store --annotate --chunk-refs 256
+	$(PYTHON) -m repro trace info /tmp/repro-sample.store
+	$(PYTHON) -m repro simulate --trace /tmp/repro-sample.store \
+		--config standard --cross-validate
+	$(PYTHON) -m repro simulate --trace /tmp/repro-sample.store \
+		--config soft --cross-validate
+	rm -rf /tmp/repro-sample.store
 
 figures:
 	$(PYTHON) -m repro run all

@@ -34,7 +34,7 @@ from .errors import (
     SimulationError,
     TraceError,
 )
-from .memtrace import Trace, TraceBuilder, TraceEntry
+from .memtrace import Trace, TraceBuilder, TraceEntry, TraceStore
 from .sim import (
     BypassCache,
     CacheGeometry,
@@ -43,7 +43,9 @@ from .sim import (
     StandardCache,
     simulate,
     simulate_many,
+    simulate_stream,
 )
+from .stream import TraceStream, open_trace
 from .workloads import get_trace, suite_traces
 
 __version__ = "1.0.0"
@@ -65,10 +67,14 @@ __all__ = [
     "BypassCache",
     "simulate",
     "simulate_many",
+    "simulate_stream",
     # traces & workloads
     "Trace",
     "TraceBuilder",
     "TraceEntry",
+    "TraceStore",
+    "TraceStream",
+    "open_trace",
     "get_trace",
     "suite_traces",
     # errors

@@ -11,13 +11,17 @@ simulate
 tags
     Show the section 2.3 locality tags of a benchmark's loop nests.
 trace
-    Generate a benchmark trace and save it to an ``.npz`` file.
+    Generate a benchmark trace (legacy flags), or via subcommands:
+    ``trace import`` converts an external address trace into a chunked
+    v2 store, ``trace info`` describes any trace artefact, ``trace
+    convert`` migrates between the v1 archive and the v2 store.
 attribute
     Per-instruction miss attribution of a benchmark (top offenders).
 cache
-    Inspect or clear the on-disk result cache.
+    Inspect, clear or LRU-prune the on-disk result cache.
 bench
-    Measure simulation throughput per engine (writes BENCH_sim.json).
+    Measure simulation throughput per engine and streaming overhead
+    (writes BENCH_sim.json).
 """
 
 from __future__ import annotations
@@ -88,7 +92,13 @@ def _parser() -> argparse.ArgumentParser:
     _add_engine_argument(run)
 
     sim = sub.add_parser("simulate", help="simulate a benchmark")
-    sim.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
+    sim.add_argument("--benchmark", choices=BENCHMARK_ORDER)
+    sim.add_argument(
+        "--trace", metavar="PATH", dest="trace_path",
+        help="simulate an on-disk trace instead of a benchmark (v2 "
+        "store directories stream out-of-core; v1 .npz archives load "
+        "whole)",
+    )
     sim.add_argument(
         "--config", default="all", choices=list(CONFIGS) + ["all"]
     )
@@ -117,16 +127,84 @@ def _parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_sim.json",
         help="output JSON path (default BENCH_sim.json; '-' = stdout only)",
     )
+    bench.add_argument(
+        "--scenario", choices=("engine", "stream", "all"), default="engine",
+        help="'engine' = per-engine throughput, 'stream' = streamed vs "
+        "in-memory throughput and peak memory, 'all' = both "
+        "(default engine)",
+    )
+    bench.add_argument(
+        "--stream-refs", type=int, default=None, metavar="N",
+        help="streamed trace length for the stream scenario "
+        "(default 10000000)",
+    )
+    bench.add_argument(
+        "--chunk-refs", type=int, default=1 << 18, metavar="N",
+        help="store chunk size for the stream scenario (default 262144)",
+    )
 
     tags = sub.add_parser("tags", help="show compiler locality tags")
     tags.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
     tags.add_argument("--scale", choices=SCALES, default="paper")
 
-    trace = sub.add_parser("trace", help="generate and save a trace")
-    trace.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
+    trace = sub.add_parser(
+        "trace", help="generate, import, convert or inspect traces"
+    )
+    # Legacy generate mode: `repro trace --benchmark MV --out mv.npz`.
+    trace.add_argument("--benchmark", choices=BENCHMARK_ORDER)
     trace.add_argument("--scale", choices=SCALES, default="paper")
     trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--out", required=True, help="output .npz path")
+    trace.add_argument("--out", help="output path (.npz, or a v2 store "
+                       "directory with --store)")
+    trace.add_argument(
+        "--store", action="store_true",
+        help="write the generated trace as a chunked v2 store directory "
+        "instead of a v1 .npz archive",
+    )
+    tsub = trace.add_subparsers(dest="trace_cmd")
+
+    timport = tsub.add_parser(
+        "import", help="convert an external address trace into a v2 store"
+    )
+    timport.add_argument("source", help="external trace file (din text or "
+                         "packed binary records)")
+    timport.add_argument("--out", required=True, dest="import_out",
+                         help="output store directory")
+    timport.add_argument(
+        "--format", choices=("din", "bin"), default=None,
+        help="input format (default: guessed from the extension)",
+    )
+    timport.add_argument("--name", default=None,
+                         help="trace name (default: source stem)")
+    timport.add_argument("--chunk-refs", type=int, default=None, metavar="N")
+    timport.add_argument(
+        "--gap", type=int, default=1, metavar="G",
+        help="constant inter-reference gap recorded per reference "
+        "(external traces carry no timing; default 1)",
+    )
+    timport.add_argument(
+        "--annotate", action="store_true",
+        help="reconstruct approximate one-bit temporal/spatial tags "
+        "from the dynamic stream (bounded-state heuristic)",
+    )
+    timport.add_argument(
+        "--compression", choices=("zlib", "none"), default="zlib"
+    )
+
+    tinfo = tsub.add_parser("info", help="describe a trace artefact")
+    tinfo.add_argument("path", help="a v2 store directory or a v1 .npz")
+
+    tconvert = tsub.add_parser(
+        "convert",
+        help="migrate a v1 .npz archive to a chunked v2 store (or, with "
+        "a .npz output path, a store back to v1)",
+    )
+    tconvert.add_argument("source")
+    tconvert.add_argument("--out", required=True, dest="convert_out")
+    tconvert.add_argument("--chunk-refs", type=int, default=None, metavar="N")
+    tconvert.add_argument(
+        "--compression", choices=("zlib", "none"), default="zlib"
+    )
 
     attr = sub.add_parser("attribute", help="per-instruction miss profile")
     attr.add_argument("--benchmark", required=True, choices=BENCHMARK_ORDER)
@@ -134,9 +212,16 @@ def _parser() -> argparse.ArgumentParser:
     attr.add_argument("--scale", choices=SCALES, default="paper")
     attr.add_argument("--top", type=int, default=10)
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache = sub.add_parser(
+        "cache", help="inspect, clear or prune the result cache"
+    )
     cache.add_argument(
-        "action", nargs="?", default="info", choices=("info", "clear")
+        "action", nargs="?", default="info", choices=("info", "clear", "prune")
+    )
+    cache.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="prune target: LRU-evict entries until the cache fits "
+        "(plain bytes or a K/M/G suffix, e.g. 512M)",
     )
     return parser
 
@@ -181,44 +266,82 @@ def _cmd_run(
 
 
 def _cmd_simulate(
-    benchmark: str, config: str, scale: str, seed: int,
+    benchmark: Optional[str], config: str, scale: str, seed: int,
     jobs: Optional[int] = None, engine: Optional[str] = None,
-    cross_validate: bool = False,
+    cross_validate: bool = False, trace_path: Optional[str] = None,
 ) -> int:
-    trace = get_trace(benchmark, scale, seed)
+    if (benchmark is None) == (trace_path is None):
+        print(
+            "error: simulate needs exactly one of --benchmark or --trace",
+            file=sys.stderr,
+        )
+        return 2
+    if trace_path is not None:
+        from .stream import open_trace
+
+        trace = open_trace(trace_path)
+        label_trace = trace.name
+        origin = f"streamed from {trace_path}"
+    else:
+        trace = get_trace(benchmark, scale, seed)
+        label_trace = benchmark
+        origin = f"scale={scale}"
     chosen = dict(CONFIGS) if config == "all" else {config: CONFIGS[config]}
     if cross_validate:
         from .sim.engine import cross_validate as check_engines
         from .sim.engine import fast_refusal
 
+        check_trace = trace.load() if trace_path is not None else trace
         validated = 0
         for label, spec in chosen.items():
             if fast_refusal(spec.build()) is None:
-                check_engines(spec.build, trace)
+                check_engines(spec.build, check_trace)
                 validated += 1
         print(
             f"cross-validated {validated}/{len(chosen)} configs: "
             "fast and reference engines agree on every counter"
         )
-    sweep = run_sweep({benchmark: trace}, chosen, jobs=jobs, engine=engine)
+    sweep = run_sweep({label_trace: trace}, chosen, jobs=jobs, engine=engine)
     rows = {}
-    for label, r in sweep.results[benchmark].items():
+    for label, r in sweep.results[label_trace].items():
         rows[label] = {
             "AMAT": r.amat,
             "miss %": 100 * r.miss_ratio,
             "words/ref": r.traffic,
             "main hit %": 100 * r.main_hit_fraction,
         }
-    print(f"{benchmark} ({len(trace)} references, scale={scale})")
+    print(f"{label_trace} ({len(trace)} references, {origin})")
     print(format_table(["AMAT", "miss %", "words/ref", "main hit %"], rows))
     return 0
 
 
-def _cmd_bench(refs: Optional[int], repeat: int, out: str) -> int:
-    from .harness.bench import DEFAULT_REFS, format_bench, run_bench, write_bench
+def _cmd_bench(
+    refs: Optional[int], repeat: int, out: str,
+    scenario: str = "engine", stream_refs: Optional[int] = None,
+    chunk_refs: int = 1 << 18,
+) -> int:
+    from .harness.bench import (
+        DEFAULT_REFS,
+        DEFAULT_STREAM_REFS,
+        format_bench,
+        format_stream_bench,
+        run_bench,
+        run_stream_bench,
+        write_bench,
+    )
 
-    payload = run_bench(refs=refs or DEFAULT_REFS, repeat=repeat)
-    print(format_bench(payload))
+    payload = {}
+    if scenario in ("engine", "all"):
+        payload = run_bench(refs=refs or DEFAULT_REFS, repeat=repeat)
+        print(format_bench(payload))
+    if scenario in ("stream", "all"):
+        stream_payload = run_stream_bench(
+            refs=stream_refs or DEFAULT_STREAM_REFS,
+            chunk_refs=chunk_refs,
+            repeat=repeat,
+        )
+        print(format_stream_bench(stream_payload))
+        payload["stream"] = stream_payload
     if out != "-":
         write_bench(payload, out)
         print(f"wrote {out}")
@@ -234,11 +357,118 @@ def _cmd_tags(benchmark: str, scale: str) -> int:
     return 0
 
 
-def _cmd_trace(benchmark: str, scale: str, seed: int, out: str) -> int:
-    trace = get_trace(benchmark, scale, seed)
-    save_trace(trace, out)
-    print(f"wrote {len(trace)} references to {out}")
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_cmd == "import":
+        return _cmd_trace_import(args)
+    if args.trace_cmd == "info":
+        return _cmd_trace_info(args.path)
+    if args.trace_cmd == "convert":
+        return _cmd_trace_convert(args)
+    # Legacy generate mode.
+    if args.benchmark is None or args.out is None:
+        print(
+            "error: trace generation needs --benchmark and --out "
+            "(or use a subcommand: import / info / convert)",
+            file=sys.stderr,
+        )
+        return 2
+    trace = get_trace(args.benchmark, args.scale, args.seed)
+    if args.store:
+        from .memtrace.store import TraceStore
+
+        store = TraceStore.save(trace, args.out)
+        print(
+            f"wrote {len(trace)} references to {args.out} "
+            f"({store.n_chunks} chunks)"
+        )
+    else:
+        save_trace(trace, args.out)
+        print(f"wrote {len(trace)} references to {args.out}")
     return 0
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    from .memtrace.store import DEFAULT_CHUNK_REFS
+    from .stream.ingest import ingest_trace
+
+    store = ingest_trace(
+        args.source,
+        args.import_out,
+        fmt=args.format,
+        name=args.name,
+        chunk_refs=args.chunk_refs or DEFAULT_CHUNK_REFS,
+        gap=args.gap,
+        annotate=args.annotate,
+        compression=args.compression,
+    )
+    tagged = " (tags annotated)" if args.annotate else ""
+    print(
+        f"imported {len(store)} references from {args.source} into "
+        f"{args.import_out} ({store.n_chunks} chunks){tagged}"
+    )
+    return 0
+
+
+def _cmd_trace_info(path: str) -> int:
+    from .memtrace.io import load_trace
+    from .memtrace.store import TraceStore, is_store
+
+    if is_store(path):
+        for key, value in TraceStore.open(path).describe().items():
+            print(f"{key}: {value}")
+        return 0
+    trace = load_trace(path)
+    print(f"path: {path}")
+    print("format: npz v1")
+    print(f"name: {trace.name}")
+    print(f"refs: {len(trace)}")
+    print(f"has_ref_ids: {trace.ref_ids is not None}")
+    print(f"fingerprint: {trace.fingerprint()}")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from .memtrace.io import load_trace
+    from .memtrace.store import DEFAULT_CHUNK_REFS, TraceStore, is_store
+
+    if is_store(args.source):
+        trace = TraceStore.open(args.source).load()
+        save_trace(trace, args.convert_out)
+        print(
+            f"converted store {args.source} to v1 archive "
+            f"{args.convert_out} ({len(trace)} references)"
+        )
+        return 0
+    trace = load_trace(args.source)
+    store = TraceStore.save(
+        trace,
+        args.convert_out,
+        chunk_refs=args.chunk_refs or DEFAULT_CHUNK_REFS,
+        compression=args.compression,
+    )
+    print(
+        f"converted {args.source} to v2 store {args.convert_out} "
+        f"({len(trace)} references, {store.n_chunks} chunks)"
+    )
+    return 0
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size with optional K/M/G(iB) suffix."""
+    cleaned = text.strip().upper().removesuffix("IB").removesuffix("B")
+    factor = 1
+    for suffix, mult in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if cleaned.endswith(suffix):
+            cleaned = cleaned[: -len(suffix)]
+            factor = mult
+            break
+    try:
+        value = int(float(cleaned) * factor)
+    except ValueError:
+        raise ReproError(f"cannot parse size {text!r}") from None
+    if value < 0:
+        raise ReproError(f"size must be >= 0: {text!r}")
+    return value
 
 
 def _cmd_attribute(benchmark: str, config: str, scale: str, top: int) -> int:
@@ -262,14 +492,29 @@ def _cmd_attribute(benchmark: str, config: str, scale: str, top: int) -> int:
     return 0
 
 
-def _cmd_cache(action: str) -> int:
+def _cmd_cache(action: str, max_bytes: Optional[str] = None) -> int:
     cache = ResultCache(default_cache_dir())
     if action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
         return 0
+    if action == "prune":
+        if max_bytes is None:
+            print("error: cache prune requires --max-bytes", file=sys.stderr)
+            return 2
+        limit = _parse_size(max_bytes)
+        removed, removed_bytes = cache.prune(limit)
+        print(
+            f"pruned {removed} cached results ({removed_bytes} bytes) "
+            f"from {cache.root}; {len(cache)} entries "
+            f"({cache.size_bytes()} bytes) remain"
+        )
+        return 0
     state = "enabled" if cache_enabled() else "disabled (REPRO_CACHE=0)"
-    print(f"result cache: {cache.root} ({len(cache)} entries, {state})")
+    print(
+        f"result cache: {cache.root} ({len(cache)} entries, "
+        f"{cache.size_bytes()} bytes, {state})"
+    )
     return 0
 
 
@@ -286,19 +531,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_simulate(
                 args.benchmark, args.config, args.scale, args.seed,
                 args.jobs, args.engine, args.cross_validate,
+                args.trace_path,
             )
         if args.command == "bench":
-            return _cmd_bench(args.refs, args.repeat, args.out)
+            return _cmd_bench(
+                args.refs, args.repeat, args.out,
+                args.scenario, args.stream_refs, args.chunk_refs,
+            )
         if args.command == "tags":
             return _cmd_tags(args.benchmark, args.scale)
         if args.command == "trace":
-            return _cmd_trace(args.benchmark, args.scale, args.seed, args.out)
+            return _cmd_trace(args)
         if args.command == "attribute":
             return _cmd_attribute(
                 args.benchmark, args.config, args.scale, args.top
             )
         if args.command == "cache":
-            return _cmd_cache(args.action)
+            return _cmd_cache(args.action, args.max_bytes)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

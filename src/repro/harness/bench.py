@@ -115,6 +115,155 @@ def run_bench(
     }
 
 
+#: Default streamed-trace length for bench-stream (10M refs — well past
+#: what the paper's traces need, per the ROADMAP's scale goal).
+DEFAULT_STREAM_REFS = 10_000_000
+
+#: Configs measured by bench-stream: one per engine tier.
+STREAM_CONFIGS = ("standard", "soft")
+
+
+def _write_bench_store(refs, chunk_refs, root, seed=12345):
+    """Write the synthetic bench trace as a v2 store, block by block.
+
+    Draws the same distribution as :func:`bench_trace` but never holds
+    more than one block in memory, so building the 10M-reference input
+    is itself O(chunk).
+    """
+    from ..memtrace.store import TraceStore
+
+    rng = np.random.default_rng(seed)
+    block = min(chunk_refs, 1 << 18)
+    with TraceStore.create(
+        root, name=f"bench-stream-{refs}", chunk_refs=chunk_refs
+    ) as writer:
+        remaining = refs
+        while remaining:
+            n = min(block, remaining)
+            writer.append_block(
+                rng.integers(0, 4096, n, dtype=np.int64) * 8,
+                rng.random(n) < 0.3,
+                rng.random(n) < 0.2,
+                rng.random(n) < 0.2,
+                rng.integers(0, 4, n).astype(np.int64),
+            )
+            remaining -= n
+    return writer.store
+
+
+def _traced_peak(fn) -> int:
+    """Peak traced allocation (bytes) while running ``fn``.
+
+    ``tracemalloc`` slows the traced run severalfold, so callers time
+    throughput in a separate untraced pass.
+    """
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def run_stream_bench(
+    refs: int = DEFAULT_STREAM_REFS,
+    chunk_refs: int = 1 << 18,
+    repeat: int = 2,
+    configs: Sequence[str] = STREAM_CONFIGS,
+    workdir: Optional[str] = None,
+) -> Dict:
+    """Prove streaming stays bounded in memory without losing speed.
+
+    For each config the same trace is simulated twice — streamed from a
+    chunked on-disk store (:func:`~repro.sim.driver.simulate_stream`)
+    and materialised in memory — measuring end-to-end throughput from
+    the same on-disk input (best of ``repeat``) and peak traced
+    allocations (one extra ``tracemalloc`` pass each; not wall-clock
+    comparable).  The payload records the
+    streamed/in-memory throughput ratio and the peak-memory ratio; a
+    bounded streamed peak shows as a small fraction of the in-memory
+    peak, which is O(trace).
+    """
+    import resource
+    import shutil
+    import tempfile
+
+    from ..sim.driver import simulate_stream
+    from ..stream import TraceStream
+
+    specs = _bench_specs(configs)
+    root = tempfile.mkdtemp(prefix="bench-stream-", dir=workdir)
+    rows: List[Dict] = []
+    try:
+        store = _write_bench_store(refs, chunk_refs, f"{root}/trace.store")
+        stream = TraceStream.from_store(store)
+        for name, spec in specs.items():
+            engine = "fast" if fast_refusal(spec.build()) is None else "reference"
+
+            def streamed():
+                simulate_stream(spec.build(), stream, engine=engine)
+
+            def in_memory():
+                simulate(spec.build(), stream.load(), engine=engine)
+
+            streamed_s = min(_timed(streamed) for _ in range(repeat))
+            in_memory_s = min(_timed(in_memory) for _ in range(repeat))
+            streamed_peak = _traced_peak(streamed)
+            in_memory_peak = _traced_peak(in_memory)
+            rows.append(
+                {
+                    "config": name,
+                    "engine": engine,
+                    "streamed_refs_per_sec": round(refs / streamed_s),
+                    "in_memory_refs_per_sec": round(refs / in_memory_s),
+                    "throughput_ratio": round(in_memory_s / streamed_s, 3),
+                    "streamed_peak_bytes": streamed_peak,
+                    "in_memory_peak_bytes": in_memory_peak,
+                    "peak_ratio": round(streamed_peak / in_memory_peak, 4),
+                }
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "refs": refs,
+        "chunk_refs": chunk_refs,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "max_rss_kb": usage.ru_maxrss,
+        "results": rows,
+    }
+
+
+def _timed(fn) -> float:
+    begin = time.perf_counter()
+    fn()
+    return time.perf_counter() - begin
+
+
+def format_stream_bench(payload: Dict) -> str:
+    """Human-readable rendering of a bench-stream payload."""
+    lines = [
+        f"streaming vs in-memory ({payload['refs']} refs, "
+        f"chunks of {payload['chunk_refs']}, best of {payload['repeat']})"
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"  {row['config']:>16} [{row['engine']:>9}]  "
+            f"streamed {row['streamed_refs_per_sec'] / 1e6:7.3f} Mrefs/s "
+            f"({row['throughput_ratio']:.2f}x in-memory), "
+            f"peak {row['streamed_peak_bytes'] / 1e6:.1f} MB vs "
+            f"{row['in_memory_peak_bytes'] / 1e6:.1f} MB in-memory"
+        )
+    lines.append(f"  process max RSS: {payload['max_rss_kb']} kB")
+    return "\n".join(lines)
+
+
 def write_bench(
     payload: Dict, out: Optional[str] = "BENCH_sim.json"
 ) -> None:

@@ -152,6 +152,12 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Refresh the mtime so prune()'s LRU order tracks *use*,
+            # not write time.
+            os.utime(path)
+        except OSError:
+            pass
         return result
 
     def put(self, key: str, result: SimResult) -> None:
@@ -180,6 +186,51 @@ class ResultCache:
                 except OSError:
                     pass
         return removed
+
+    def size_bytes(self) -> int:
+        """Total bytes held by cached cells."""
+        if not self.root.is_dir():
+            return 0
+        total = 0
+        for entry in self.root.glob("*/*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """LRU-evict entries until the cache fits in ``max_bytes``.
+
+        Least-recently-*used* entries go first (:meth:`get` refreshes
+        mtimes), so long sweep campaigns keep their hot cells.  Returns
+        ``(entries_removed, bytes_removed)``.
+        """
+        if max_bytes < 0:
+            raise ConfigError(f"max_bytes must be >= 0: {max_bytes}")
+        entries = []
+        total = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, entry))
+                total += stat.st_size
+        entries.sort(key=lambda item: item[0])
+        removed = removed_bytes = 0
+        for _, size, entry in entries:
+            if total <= max_bytes:
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            removed_bytes += size
+        return removed, removed_bytes
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -212,8 +263,18 @@ def simulate_cell(payload: Tuple[Trace, CacheSpec, str]) -> SimResult:
     """Pool work unit: simulate one (trace, spec) cell on a cold cache.
 
     Module-level (not a closure) so it pickles under every start method.
+    The trace slot also accepts a :class:`~repro.stream.TraceStream` —
+    streams pickle as path + manifest, so out-of-core cells ship no
+    trace data across the process boundary; each worker pages its own
+    chunks in.
     """
     trace, spec, engine = payload
+    from ..stream import TraceStream
+
+    if isinstance(trace, TraceStream):
+        from ..sim.driver import simulate_stream
+
+        return simulate_stream(spec.build(), trace, engine=engine)
     return simulate(spec.build(), trace, engine=engine)
 
 
@@ -229,6 +290,11 @@ def run_cells(
     (``jobs == 1``) or on a process pool.  The returned list is aligned
     with ``cells`` regardless of completion order.  ``engine`` is the
     simulation-engine knob (resolved once; part of the cache key).
+
+    The trace slot accepts either an in-memory ``Trace`` or a
+    :class:`~repro.stream.TraceStream`; both expose the same
+    ``fingerprint()``, so a cell keyed while streamed and the same cell
+    keyed in memory share one cache entry.
     """
     jobs = resolve_jobs(jobs)
     engine = resolve_engine(engine)

@@ -90,6 +90,11 @@ def run_sweep(
     :class:`ResultCache` = a specific store).  ``engine`` selects the
     simulation engine (default: ``REPRO_ENGINE`` env var, else
     ``auto``); it is part of the result-cache key.
+
+    Trace values may be in-memory ``Trace`` objects or
+    :class:`~repro.stream.TraceStream` instances; streams simulate
+    out-of-core in O(chunk) memory and share result-cache entries with
+    their materialised equivalents (same content fingerprint).
     """
     # Submitted order: row-major over the input mappings.  The Sweep is
     # assembled from this list after all cells complete, so parallel
@@ -120,6 +125,14 @@ def run_sweep(
     for index, (trace_name, config_name, config) in enumerate(grid):
         result = cell_results.get(index)
         if result is None:  # legacy factory: serial, uncached
-            result = simulate(config(), traces[trace_name], engine=engine)
+            trace = traces[trace_name]
+            from ..stream import TraceStream
+
+            if isinstance(trace, TraceStream):
+                from ..sim.driver import simulate_stream
+
+                result = simulate_stream(config(), trace, engine=engine)
+            else:
+                result = simulate(config(), trace, engine=engine)
         sweep.add(trace_name, config_name, result)
     return sweep

@@ -8,6 +8,7 @@ locality analyses behind figures 1 and 4.
 
 from .io import load_trace, save_trace
 from .lifetime import LifetimeProfile, lifetime_profile, line_lifetimes
+from .store import DEFAULT_CHUNK_REFS, STORE_VERSION, TraceStore, is_store
 from .reuse import (
     REUSE_BUCKETS,
     ReuseProfile,
@@ -28,6 +29,10 @@ from .vectors import (
 __all__ = [
     "save_trace",
     "load_trace",
+    "DEFAULT_CHUNK_REFS",
+    "STORE_VERSION",
+    "TraceStore",
+    "is_store",
     "LifetimeProfile",
     "lifetime_profile",
     "line_lifetimes",

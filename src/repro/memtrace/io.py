@@ -10,6 +10,7 @@ across processes or machines.
 from __future__ import annotations
 
 import os
+import zipfile
 from typing import Union
 
 import numpy as np
@@ -17,7 +18,9 @@ import numpy as np
 from ..errors import TraceError
 from .trace import Trace
 
-#: On-disk format version; bump on incompatible changes.
+#: On-disk format version; bump on incompatible changes.  Version 2 is
+#: the chunked store directory (:mod:`repro.memtrace.store`); this
+#: module remains the v1 single-archive compatibility shim.
 FORMAT_VERSION = 1
 
 
@@ -39,7 +42,20 @@ def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
 
 
 def load_trace(path: Union[str, os.PathLike]) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace from any supported on-disk format.
+
+    A v1 ``.npz`` archive (written by :func:`save_trace`) loads
+    directly; a v2 chunked store directory is materialised through
+    :class:`~repro.memtrace.store.TraceStore` — prefer
+    :func:`repro.stream.open_trace` when O(trace) memory is a concern.
+    Truncated or corrupt inputs raise :class:`~repro.errors.TraceError`
+    (never a bare ``KeyError``/``ValueError``), and the stored
+    fingerprint is verified against the loaded columns.
+    """
+    from .store import TraceStore, is_store
+
+    if is_store(path):
+        return TraceStore.open(path).load()
     try:
         with np.load(path, allow_pickle=False) as archive:
             version = int(archive["version"])
@@ -66,5 +82,11 @@ def load_trace(path: Union[str, os.PathLike]) -> Trace:
                         f"{stored[:12]}… does not match the columns"
                     )
             return trace
-    except (OSError, KeyError, ValueError) as error:
+    except (
+        OSError,
+        KeyError,
+        ValueError,
+        EOFError,
+        zipfile.BadZipFile,
+    ) as error:
         raise TraceError(f"cannot load trace from {path!s}: {error}") from error

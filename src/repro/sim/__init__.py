@@ -4,11 +4,12 @@ from .base import CacheModel
 from .belady import simulate_belady
 from .bypass import BypassCache
 from .column_assoc import ColumnAssociativeCache
-from .driver import simulate, simulate_many
+from .driver import simulate, simulate_many, simulate_stream
 from .engine import (
     ENGINES,
     EngineMismatchError,
     cross_validate,
+    cross_validate_stream,
     resolve_engine,
     select_engine,
 )
@@ -37,9 +38,11 @@ __all__ = [
     "ENGINES",
     "EngineMismatchError",
     "cross_validate",
+    "cross_validate_stream",
     "resolve_engine",
     "select_engine",
     "simulate",
     "simulate_belady",
     "simulate_many",
+    "simulate_stream",
 ]

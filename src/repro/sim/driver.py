@@ -90,6 +90,74 @@ def simulate(
     return stats
 
 
+def simulate_stream(
+    model: CacheModel,
+    stream,
+    reset: bool = True,
+    warmup_refs: int = 0,
+    engine: Optional[str] = None,
+) -> SimResult:
+    """Run a :class:`~repro.stream.TraceStream` through ``model``.
+
+    The out-of-core counterpart of :func:`simulate`: the trace is
+    consumed one chunk at a time, so peak memory is O(chunk), not
+    O(trace).  Counters are bit-identical to materialising the stream
+    and calling :func:`simulate` — the reference loop below carries the
+    clock across chunk windows, and the fast path
+    (:func:`repro.sim.fast.simulate_fast_stream`) carries cache, write
+    buffer and timing state explicitly.  Engine selection, warm-up and
+    ``reset`` semantics match :func:`simulate`.
+    """
+    if warmup_refs < 0:
+        raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
+    chosen, _ = select_engine(
+        engine, model, reset=reset, warmup_refs=warmup_refs
+    )
+    if chosen == "fast":
+        from .fast import simulate_fast_stream
+
+        return simulate_fast_stream(model, stream)
+
+    if reset:
+        model.reset()
+    access = model.access
+    timing = getattr(model, "timing", None)
+    pipelined = timing.hit_time if timing is not None else 1
+
+    clock = 0
+    total = 0
+    position = 0
+    warm_snapshot = None
+    for chunk in stream.chunks():
+        addresses, is_write, temporal, spatial, gaps = chunk.columns_list()
+        for addr, w, t, s, g in zip(
+            addresses, is_write, temporal, spatial, gaps
+        ):
+            if warmup_refs and position == warmup_refs:
+                warm_snapshot = (total, _snapshot(model.stats))
+            position += 1
+            clock += g
+            cycles = access(addr, w, temporal=t, spatial=s, now=clock)
+            total += cycles
+            extra = cycles - pipelined
+            if extra > 0:
+                clock += extra
+    if warmup_refs and warm_snapshot is None and position:
+        warm_snapshot = (total, _snapshot(model.stats))
+
+    stats = model.stats
+    stats.trace = stream.name
+    stats.engine = "reference"
+    stats.cycles = total
+    if warm_snapshot is not None:
+        warm_cycles, counters = warm_snapshot
+        stats.cycles -= warm_cycles
+        for field, value in counters.items():
+            setattr(stats, field, getattr(stats, field) - value)
+    stats.check()
+    return stats
+
+
 #: Counter fields discarded by the warm-up window.
 _COUNTER_FIELDS = (
     "refs", "hits_main", "hits_assist", "misses", "lines_fetched",

@@ -135,3 +135,34 @@ def cross_validate(
             + "; ".join(mismatches)
         )
     return reference if engine_result == "reference" else fast
+
+
+def cross_validate_stream(
+    build: Callable[[], object], stream, engine: Optional[str] = None
+) -> SimResult:
+    """Assert chunked streaming matches the monolithic path exactly.
+
+    Runs ``stream`` chunk-wise through :func:`~repro.sim.driver
+    .simulate_stream` and its materialised trace through
+    :func:`~repro.sim.driver.simulate`, on fresh models from ``build``,
+    and compares every counter.  This is the orthogonal axis to
+    :func:`cross_validate`: same engine, different trace delivery.
+    Returns the streamed result; raises :class:`EngineMismatchError` on
+    any difference.
+    """
+    from .driver import simulate, simulate_stream
+
+    streamed = simulate_stream(build(), stream, engine=engine)
+    monolithic = simulate(build(), stream.load(), engine=engine)
+    mismatches = [
+        f"{name}: monolithic={getattr(monolithic, name)} "
+        f"streamed={getattr(streamed, name)}"
+        for name in PARITY_FIELDS
+        if getattr(monolithic, name) != getattr(streamed, name)
+    ]
+    if mismatches:
+        raise EngineMismatchError(
+            f"chunked streaming disagrees with the monolithic path on "
+            f"{streamed.cache!r} x {stream.name!r}: " + "; ".join(mismatches)
+        )
+    return streamed

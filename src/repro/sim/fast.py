@@ -39,7 +39,7 @@ for a reference run even for callers that inspect the model afterwards.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -350,6 +350,356 @@ def simulate_fast(model, trace: Trace) -> SimResult:
     _materialise_state(model, trace, functional, timed)
     stats.check()
     return stats
+
+
+def simulate_fast_stream(model, stream) -> SimResult:
+    """Chunk-wise batch simulation with explicit state carry-over.
+
+    Consumes a :class:`~repro.stream.TraceStream` one chunk at a time —
+    memory stays O(chunk) — and produces counters and final model state
+    bit-identical to :func:`simulate_fast` on the materialised trace
+    (and therefore to the reference engine).  Eligibility is the same
+    as the monolithic fast path (:func:`repro.sim.engine.fast_refusal`).
+
+    Carrying state across chunks is exact because both kernel passes
+    admit a small sufficient statistic:
+
+    * **functional** — per-set residency (line, dirty, temporal bit) is
+      all the next chunk's group-by needs; a chunk's first reference to
+      a set compares against the carried resident line instead of an
+      empty slot, and the first residency *run* of such a group either
+      continues the carried line's run (inheriting its dirty/temporal
+      bits) or evicts it (a victim whose dirtiness is the carried bit);
+    * **timing** — the prefix-sum recurrence only looks one reference
+      back, so ``start + stall`` of a chunk's last reference, its
+      hit/miss outcome and the live write buffer fully seed the next
+      chunk's accumulation.
+    """
+    model.reset()
+    stats = model.stats
+    stats.trace = stream.name
+    stats.engine = "fast"
+
+    geometry = model.geometry
+    timing = model.timing
+    n_sets = geometry.n_sets
+    ways = geometry.ways
+    line_shift = geometry.line_shift
+    hit_time = timing.hit_time
+    penalty = timing.latency + timing.transfer_cycles(geometry.line_size)
+    words_per_line = geometry.line_size // 8
+    tracks_temporal = model._entry_has_temporal
+    temporal_priority = bool(getattr(model, "_temporal_priority", False))
+
+    # Functional carry: per-set residency.
+    if ways == 1:
+        tags = np.full(n_sets, -1, dtype=np.int64)
+        dirty = np.zeros(n_sets, dtype=bool)
+        temporal_bits = np.zeros(n_sets, dtype=bool)
+        sets_state = None
+    else:
+        tags = dirty = temporal_bits = None
+        #: per-set MRU-first [line, dirty, temporal] entries.
+        sets_state = [[] for _ in range(n_sets)]
+
+    # Timing carry (see _chunk_timing).
+    write_buffer = WriteBuffer(
+        model.write_buffer.entries, model.write_buffer.drain_cycles
+    )
+    first = True
+    prev_base = 0
+    prev_miss = False
+    cycles = 0
+    stalls = 0
+    refs = 0
+    hits_total = 0
+    writebacks = 0
+    ready_at = 0
+    bus_free_at = 0
+    last_hit = True
+    last_la = 0
+
+    for chunk in stream.chunks():
+        n = len(chunk)
+        if n == 0:
+            continue
+        la = chunk.addresses >> line_shift
+        sets = la % n_sets
+        if ways == 1:
+            hits, victim_dirty = _functional_dm_chunk(
+                la, sets, chunk.is_write, chunk.temporal,
+                tags, dirty, temporal_bits,
+            )
+        else:
+            hits, victim_dirty = _functional_assoc_chunk(
+                la, sets, chunk.is_write, chunk.temporal,
+                ways, temporal_priority, sets_state,
+            )
+        timed = _chunk_timing(
+            chunk.gaps, hits, victim_dirty, hit_time, penalty,
+            write_buffer, first, prev_base, prev_miss,
+        )
+        chunk_cycles, chunk_stalls, prev_base, ready_at, chunk_bus = timed
+        cycles += chunk_cycles
+        stalls += chunk_stalls
+        if chunk_bus is not None:
+            bus_free_at = chunk_bus
+        refs += n
+        hits_total += int(hits.sum())
+        writebacks += int(victim_dirty.sum())
+        first = False
+        last_hit = bool(hits[-1])
+        prev_miss = not last_hit
+        last_la = int(la[-1])
+
+    stats.refs = refs
+    stats.hits_main = hits_total
+    stats.misses = refs - hits_total
+    stats.lines_fetched = stats.misses
+    stats.words_fetched = stats.misses * words_per_line
+    stats.writebacks = writebacks
+    stats.write_buffer_stalls = stalls
+    stats.cycles = cycles
+
+    # Materialise final model state, as the monolithic kernels do.
+    model.write_buffer = write_buffer
+    model._ready_at = ready_at
+    if hasattr(model, "_bus_free_at"):
+        model._bus_free_at = bus_free_at
+    if refs:
+        model.last_fetch = [] if last_hit else [last_la]
+    if ways == 1:
+        model._tags = tags.tolist()
+        model._dirty = dirty.tolist()
+        if tracks_temporal:
+            model._temporal = temporal_bits.tolist()
+    else:
+        model._sets = [
+            [
+                entry if tracks_temporal else entry[:2]
+                for entry in entries
+            ]
+            for entries in sets_state
+        ]
+    stats.check()
+    return stats
+
+
+def _functional_dm_chunk(
+    la: np.ndarray,
+    sets: np.ndarray,
+    is_write: np.ndarray,
+    temporal: np.ndarray,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    temporal_bits: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One chunk of the direct-mapped group-by, seeded by carried state.
+
+    Same residency-run analysis as :func:`_functional_direct_mapped`,
+    except (a) a run may start at a set-group boundary even on a *hit*
+    (the carried resident line continues its pre-chunk run, whose dirty
+    and temporal bits it inherits), and (b) a group-first miss on an
+    occupied set evicts the carried line.  The carry arrays are updated
+    in place to each touched set's final residency.
+    """
+    n = len(la)
+    order = np.argsort(sets, kind="stable")
+    la_s = la[order]
+    set_s = sets[order]
+    w_s = is_write[order]
+    t_s = temporal[order]
+
+    gstart = np.ones(n, dtype=bool)
+    gstart[1:] = set_s[1:] != set_s[:-1]
+    hit_s = np.zeros(n, dtype=bool)
+    hit_s[1:] = ~gstart[1:] & (la_s[1:] == la_s[:-1])
+
+    group_first = np.nonzero(gstart)[0]
+    group_sets = set_s[group_first]
+    carried_tag = tags[group_sets]
+    carried_dirty = dirty[group_sets]
+    carried_temporal = temporal_bits[group_sets]
+    first_hits = carried_tag == la_s[group_first]
+    hit_s[group_first] = first_hits
+    miss_s = ~hit_s
+
+    # Runs restart at every miss AND at every group boundary, so a
+    # group-first hit opens a fresh run that continues the carried line.
+    run_start = miss_s | gstart
+    run_id = np.cumsum(run_start) - 1
+    n_runs = int(run_id[-1]) + 1
+    run_dirty = np.bincount(run_id, weights=w_s, minlength=n_runs) > 0
+    run_temporal = np.bincount(run_id, weights=t_s, minlength=n_runs) > 0
+    continuation = group_first[first_hits]
+    run_dirty[run_id[continuation]] |= carried_dirty[first_hits]
+    run_temporal[run_id[continuation]] |= carried_temporal[first_hits]
+
+    # Victims: a non-first miss evicts the previous run's line; a
+    # group-first miss evicts the carried line when the set is occupied.
+    victim_s = miss_s & ~gstart
+    victim_dirty_s = np.zeros(n, dtype=bool)
+    victim_dirty_s[victim_s] = run_dirty[run_id[victim_s] - 1]
+    first_misses = group_first[~first_hits]
+    victim_dirty_s[first_misses] = (
+        carried_dirty[~first_hits] & (carried_tag[~first_hits] != -1)
+    )
+
+    # Update the carry to each touched set's final residency run.
+    group_last = np.append(group_first[1:] - 1, n - 1)
+    tags[group_sets] = la_s[group_last]
+    dirty[group_sets] = run_dirty[run_id[group_last]]
+    temporal_bits[group_sets] = run_temporal[run_id[group_last]]
+
+    hits = np.empty(n, dtype=bool)
+    hits[order] = hit_s
+    victim_dirty = np.empty(n, dtype=bool)
+    victim_dirty[order] = victim_dirty_s
+    return hits, victim_dirty
+
+
+def _functional_assoc_chunk(
+    la: np.ndarray,
+    sets: np.ndarray,
+    is_write: np.ndarray,
+    temporal: np.ndarray,
+    ways: int,
+    temporal_priority: bool,
+    sets_state: List[List[List]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One chunk of the per-set LRU loop over persistent set state.
+
+    Identical logic to :func:`_functional_set_associative`, but the
+    MRU-first entry lists live in ``sets_state`` and carry across
+    chunks (sets untouched by this chunk keep their entries untouched).
+    """
+    n = len(la)
+    order = np.argsort(sets, kind="stable")
+    set_s = sets[order]
+    boundaries = np.nonzero(set_s[1:] != set_s[:-1])[0] + 1
+    starts = [0] + boundaries.tolist()
+    ends = boundaries.tolist() + [n]
+
+    hits = np.zeros(n, dtype=bool)
+    victim_dirty = np.zeros(n, dtype=bool)
+
+    la_list = la.tolist()
+    w_list = is_write.tolist()
+    t_list = temporal.tolist()
+    order_list = order.tolist()
+
+    for lo, hi in zip(starts, ends):
+        entries = sets_state[int(set_s[lo])]
+        for j in range(lo, hi):
+            index = order_list[j]
+            line = la_list[index]
+            for position, entry in enumerate(entries):
+                if entry[0] == line:
+                    if position:
+                        del entries[position]
+                        entries.insert(0, entry)
+                    if w_list[index]:
+                        entry[1] = True
+                    if t_list[index]:
+                        entry[2] = True
+                    hits[index] = True
+                    break
+            else:
+                if len(entries) >= ways:
+                    victim_index = len(entries) - 1
+                    if temporal_priority:
+                        for k in range(len(entries) - 1, -1, -1):
+                            if not entries[k][2]:
+                                victim_index = k
+                                break
+                    victim = entries.pop(victim_index)
+                    victim_dirty[index] = victim[1]
+                entries.insert(0, [line, w_list[index], t_list[index]])
+    return hits, victim_dirty
+
+
+def _chunk_timing(
+    gaps: np.ndarray,
+    hits: np.ndarray,
+    victim_dirty: np.ndarray,
+    hit_time: int,
+    penalty: int,
+    write_buffer: WriteBuffer,
+    first: bool,
+    prev_base: int,
+    prev_miss: bool,
+) -> Tuple[int, int, int, int, Optional[int]]:
+    """One chunk of :func:`_accumulate_timing`, seeded by carried state.
+
+    ``prev_base`` is ``start + stall`` of the previous chunk's last
+    reference (absolute cycles, all earlier stalls included) and
+    ``prev_miss`` its outcome; together with the live ``write_buffer``
+    they are exactly what the one-reference-back recurrence needs.
+    Returns ``(cycles, stalls, new_base, ready_at, bus_free_at)``
+    where ``bus_free_at`` is None when the chunk had no miss.
+    """
+    n = len(gaps)
+    wait = hit_time - gaps
+    np.clip(wait, 0, None, out=wait)
+    delta = np.maximum(gaps, hit_time)
+    if first:
+        wait[0] = 0
+        delta[0] = gaps[0]
+        base0 = 0
+    else:
+        base0 = prev_base
+        if prev_miss:
+            delta[0] += penalty - hit_time
+    delta[1:] += (penalty - hit_time) * (~hits[:-1])
+    base_start = np.cumsum(delta) + base0
+
+    wb_entries = write_buffer.entries
+    wb_drain = write_buffer.drain_cycles
+    offset = 0
+    last_push_index = -1
+    last_push_stall = 0
+    pushes = np.nonzero(victim_dirty)[0]
+    if len(pushes) and wb_entries == 0:
+        n_pushes = len(pushes)
+        offset = n_pushes * wb_drain
+        last_push_index = int(pushes[-1])
+        last_push_stall = wb_drain
+        write_buffer.pushes += n_pushes
+        write_buffer.stall_cycles += offset
+    elif len(pushes) and penalty >= wb_drain:
+        # Pushes are >= penalty >= drain cycles apart — across chunk
+        # boundaries too, since chunking does not move push times — so
+        # every push (including the first, against any carried entry)
+        # finds the buffer empty: zero stall, one entry left draining.
+        last_push_index = int(pushes[-1])
+        write_buffer.pushes += len(pushes)
+        write_buffer._completions.clear()
+        write_buffer._completions.append(
+            int(base_start[last_push_index]) + wb_drain
+        )
+    else:
+        for index in pushes.tolist():
+            stall = write_buffer.push(int(base_start[index]) + offset)
+            offset += stall
+            last_push_index = index
+            last_push_stall = stall
+
+    n_hits = int(hits.sum())
+    chunk_cycles = (
+        int(wait.sum()) + offset
+        + hit_time * n_hits + penalty * (n - n_hits)
+    )
+    new_base = int(base_start[-1]) + offset
+    ready_at = new_base + (hit_time if hits[-1] else penalty)
+    misses = np.nonzero(~hits)[0]
+    bus_free_at = None
+    if len(misses):
+        last_miss = int(misses[-1])
+        before = offset - (
+            last_push_stall if last_push_index == last_miss else 0
+        )
+        bus_free_at = int(base_start[last_miss]) + before + penalty
+    return chunk_cycles, offset, new_base, ready_at, bus_free_at
 
 
 def _materialise_state(

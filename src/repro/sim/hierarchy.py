@@ -72,6 +72,17 @@ class TwoLevelCache:
         """The L1's record (the driver reads and finalises this)."""
         return self.l1.stats
 
+    def fast_engine_refusal(self) -> str:
+        """The hierarchy always runs on the reference engine.
+
+        L2 hits depend on the exact interleaving of L1 fetches, which
+        the batch kernels do not replay — so equivalence cannot be
+        proved and ``auto`` must fall back (streaming still works:
+        :func:`~repro.sim.driver.simulate_stream` carries the clock
+        through the reference loop chunk by chunk).
+        """
+        return "two-level hierarchy replays L1 fetches per reference"
+
     def reset(self) -> None:
         self.l1.reset()
         self._l2_sets = [[] for _ in range(self.l2_geometry.n_sets)]

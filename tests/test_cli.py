@@ -109,6 +109,39 @@ class TestTrace:
         assert len(load_trace(out_path)) > 0
 
 
+class TestBenchStream:
+    def test_run_stream_bench_payload(self, tmp_path):
+        from repro.harness.bench import run_stream_bench
+
+        payload = run_stream_bench(
+            refs=4000, chunk_refs=1000, repeat=1, workdir=str(tmp_path)
+        )
+        assert payload["refs"] == 4000
+        assert payload["max_rss_kb"] > 0
+        configs = [row["config"] for row in payload["results"]]
+        assert configs == ["standard", "soft"]
+        for row in payload["results"]:
+            assert row["streamed_refs_per_sec"] > 0
+            assert row["streamed_peak_bytes"] > 0
+            assert row["in_memory_peak_bytes"] > 0
+        # the benchmark work directory is cleaned up afterwards
+        assert not list(tmp_path.glob("bench-stream-*"))
+
+    def test_cli_stream_scenario_writes_payload(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_sim.json"
+        assert main(
+            ["bench", "--scenario", "stream", "--stream-refs", "3000",
+             "--chunk-refs", "800", "--repeat", "1", "--out", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "streaming vs in-memory" in text
+        payload = json.loads(out.read_text())
+        assert payload["stream"]["refs"] == 3000
+        assert payload["stream"]["chunk_refs"] == 800
+
+
 class TestAttribute:
     def test_prints_profile(self, capsys):
         assert main(

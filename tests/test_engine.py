@@ -209,7 +209,8 @@ class TestSelection:
                 timing=TIMING)), "bounce-back"),
             (lambda: standard(write_policy="write-through"), "write policy"),
             (lambda: TwoLevelCache(
-                standard(), CacheGeometry(8192, 32, 2), 12), "no batch"),
+                standard(), CacheGeometry(8192, 32, 2), 12),
+             "two-level hierarchy"),
         ],
     )
     def test_auto_refuses_unsupported_configs(self, build, reason):

@@ -133,6 +133,109 @@ class TestResultCache:
         assert len(store) == 0
 
 
+class TestCachePrune:
+    def test_size_bytes_counts_entries(self, tmp_path):
+        store = ResultCache(tmp_path)
+        assert store.size_bytes() == 0
+        run_sweep(_suite(n_traces=1), CONFIGS, cache=store)
+        assert store.size_bytes() > 0
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        store = ResultCache(tmp_path)
+        run_sweep(_suite(n_traces=1), CONFIGS, cache=store)
+        before = store.size_bytes()
+        removed, removed_bytes = store.prune(0)
+        assert removed == len(CONFIGS)
+        assert removed_bytes == before
+        assert len(store) == 0 and store.size_bytes() == 0
+
+    def test_prune_is_lru_by_mtime(self, tmp_path):
+        import os
+
+        store = ResultCache(tmp_path)
+        run_sweep(_suite(n_traces=1), CONFIGS, cache=store)
+        entries = sorted(tmp_path.glob("*/*.json"))
+        assert len(entries) == 3
+        for age, entry in zip((300, 200, 100), entries):
+            os.utime(entry, (1_000_000 - age, 1_000_000 - age))
+        keep = entries[2].stat().st_size  # newest entry
+        store.prune(keep)
+        survivors = set(tmp_path.glob("*/*.json"))
+        assert survivors == {entries[2]}
+
+    def test_get_refreshes_mtime_for_lru(self, tmp_path):
+        import os
+
+        traces = _suite(n_traces=1)
+        store = ResultCache(tmp_path)
+        run_sweep(traces, {"s": CONFIGS["Standard"]}, cache=store)
+        (entry,) = tmp_path.glob("*/*.json")
+        os.utime(entry, (1, 1))
+        from repro.sim.engine import resolve_engine
+
+        key = ResultCache.key(
+            traces["t0"].fingerprint(), CONFIGS["Standard"].fingerprint(),
+            resolve_engine(None),
+        )
+        assert store.get(key) is not None
+        assert entry.stat().st_mtime > 1
+
+    def test_negative_limit_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ResultCache(tmp_path).prune(-1)
+
+    def test_cli_prune(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["simulate", "--benchmark", "MV", "--config", "soft",
+             "--scale", "tiny"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-bytes", "0"]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert main(["cache", "prune"]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_cli_parse_size(self):
+        from repro.cli import _parse_size
+        from repro.errors import ReproError
+
+        assert _parse_size("1024") == 1024
+        assert _parse_size("4K") == 4096
+        assert _parse_size("2KiB") == 2048
+        assert _parse_size("1.5M") == 3 << 19
+        assert _parse_size("2GB") == 2 << 30
+        with pytest.raises(ReproError):
+            _parse_size("lots")
+        with pytest.raises(ReproError):
+            _parse_size("-1K")
+
+
+class TestStreamCacheSharing:
+    def test_store_backed_stream_hits_in_memory_entries(self, tmp_path):
+        """A v2 store and the in-memory trace share cache entries:
+        chunk fingerprints roll up to the identical trace fingerprint,
+        so re-running a sweep out-of-core costs zero simulations."""
+        from repro.memtrace import TraceStore
+        from repro.stream import TraceStream
+
+        traces = _suite(n_traces=1)
+        store = ResultCache(tmp_path / "results")
+        run_sweep(traces, CONFIGS, cache=store)
+
+        root = tmp_path / "t0.store"
+        TraceStore.save(traces["t0"], root, chunk_refs=128)
+        stream = TraceStream.open(root)
+        probe = ResultCache(tmp_path / "results")
+        warm = run_sweep({"t0": stream}, CONFIGS, cache=probe)
+        assert probe.hits == len(CONFIGS)
+        assert probe.misses == 0
+        for config in CONFIGS:
+            assert warm.results["t0"][config].misses >= 0
+
+
 class TestTraceFingerprint:
     def test_stable_and_cached(self):
         trace = _suite(n_traces=1)["t0"]

@@ -87,3 +87,49 @@ class TestErrors:
         path.write_bytes(b"not an npz at all")
         with pytest.raises(TraceError):
             load_trace(path)
+
+    def test_truncated_archive(self, tmp_path):
+        path = tmp_path / "truncated.npz"
+        save_trace(make_trace(list(range(0, 8000, 8))), path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(FORMAT_VERSION),
+            name=np.str_("partial"),
+            addresses=np.array([0]),
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        trace = make_trace([0, 8, 16], name="tampered")
+        path = tmp_path / "tampered.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(FORMAT_VERSION),
+            fingerprint=np.str_("0" * 64),
+            name=np.str_(trace.name),
+            addresses=trace.addresses,
+            is_write=trace.is_write,
+            temporal=trace.temporal,
+            spatial=trace.spatial,
+            gaps=trace.gaps,
+        )
+        with pytest.raises(TraceError, match="fingerprint"):
+            load_trace(path)
+
+
+class TestStoreDispatch:
+    def test_load_trace_reads_v2_stores(self, tmp_path, mv_tiny_trace):
+        from repro.memtrace import TraceStore
+
+        root = tmp_path / "mv.store"
+        TraceStore.save(mv_tiny_trace, root, chunk_refs=100)
+        loaded = load_trace(root)
+        assert loaded.fingerprint() == mv_tiny_trace.fingerprint()
