@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-serial lint bench bench-sim trace-demo figures clean-cache
+.PHONY: test test-serial lint bench bench-sim trace-demo analyze-demo figures clean-cache
 
 # Tier-1: the unit/integration/property suite.  REPRO_JOBS=2 keeps the
 # process-pool path (and spec pickling) exercised on every run;
@@ -42,6 +42,15 @@ trace-demo:
 	$(PYTHON) -m repro simulate --trace /tmp/repro-sample.store \
 		--config soft --cross-validate
 	rm -rf /tmp/repro-sample.store
+
+# Telemetry pipeline end to end on the bundled dinero sample: ingest
+# (implicit, with annotated tags), probe, classify and export.  See
+# docs/telemetry.md.
+analyze-demo:
+	$(PYTHON) -m repro analyze --trace examples/sample.din \
+		--config soft --window 256 --out /tmp/repro-analyze
+	ls /tmp/repro-analyze
+	rm -rf /tmp/repro-analyze
 
 figures:
 	$(PYTHON) -m repro run all

@@ -46,6 +46,7 @@ from .sim import (
     simulate_stream,
 )
 from .stream import TraceStream, open_trace
+from .telemetry import TelemetryReport, TelemetrySpec, analyze
 from .workloads import get_trace, suite_traces
 
 __version__ = "1.0.0"
@@ -77,6 +78,10 @@ __all__ = [
     "open_trace",
     "get_trace",
     "suite_traces",
+    # telemetry
+    "TelemetryReport",
+    "TelemetrySpec",
+    "analyze",
     # errors
     "ReproError",
     "ConfigError",

@@ -17,11 +17,16 @@ trace
     convert`` migrates between the v1 archive and the v2 store.
 attribute
     Per-instruction miss attribution of a benchmark (top offenders).
+analyze
+    Run the telemetry probe battery over a benchmark or on-disk trace:
+    windowed miss-rate series, 3C miss classification, bounce-back
+    saves vs pollution, virtual-line fetch utilization and the
+    compiler-tag audit.  ``--out DIR`` writes JSON/JSONL/CSV artifacts.
 cache
     Inspect, clear or LRU-prune the on-disk result cache.
 bench
-    Measure simulation throughput per engine and streaming overhead
-    (writes BENCH_sim.json).
+    Measure simulation throughput per engine, streaming overhead and
+    telemetry probe overhead (writes BENCH_sim.json).
 """
 
 from __future__ import annotations
@@ -128,9 +133,12 @@ def _parser() -> argparse.ArgumentParser:
         help="output JSON path (default BENCH_sim.json; '-' = stdout only)",
     )
     bench.add_argument(
-        "--scenario", choices=("engine", "stream", "all"), default="engine",
+        "--scenario",
+        choices=("engine", "stream", "probes", "all"),
+        default="engine",
         help="'engine' = per-engine throughput, 'stream' = streamed vs "
-        "in-memory throughput and peak memory, 'all' = both "
+        "in-memory throughput and peak memory, 'probes' = telemetry "
+        "overhead with probes off and on, 'all' = everything "
         "(default engine)",
     )
     bench.add_argument(
@@ -211,6 +219,36 @@ def _parser() -> argparse.ArgumentParser:
     attr.add_argument("--config", default="standard", choices=list(CONFIGS))
     attr.add_argument("--scale", choices=SCALES, default="paper")
     attr.add_argument("--top", type=int, default=10)
+
+    analyze = sub.add_parser(
+        "analyze", help="telemetry probes: windows, 3C, assists, tag audit"
+    )
+    analyze.add_argument("--benchmark", choices=BENCHMARK_ORDER)
+    analyze.add_argument(
+        "--trace", metavar="PATH", dest="trace_path",
+        help="analyze an on-disk trace instead of a benchmark (v2 store "
+        "directories stream out-of-core; .npz archives load whole; "
+        "external .din/.bin traces are ingested on the fly with "
+        "annotated tags)",
+    )
+    analyze.add_argument(
+        "--config", default="soft", choices=list(CONFIGS)
+    )
+    analyze.add_argument("--scale", choices=SCALES, default="paper")
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="time-series window width in references (default 4096)",
+    )
+    analyze.add_argument(
+        "--attribution", action="store_true",
+        help="include the per-instruction profile (needs trace ref ids)",
+    )
+    analyze.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write report.json / telemetry.jsonl / windows.csv",
+    )
+    _add_engine_argument(analyze)
 
     cache = sub.add_parser(
         "cache", help="inspect, clear or prune the result cache"
@@ -324,8 +362,10 @@ def _cmd_bench(
         DEFAULT_REFS,
         DEFAULT_STREAM_REFS,
         format_bench,
+        format_probe_bench,
         format_stream_bench,
         run_bench,
+        run_probe_bench,
         run_stream_bench,
         write_bench,
     )
@@ -342,6 +382,12 @@ def _cmd_bench(
         )
         print(format_stream_bench(stream_payload))
         payload["stream"] = stream_payload
+    if scenario in ("probes", "all"):
+        probe_payload = run_probe_bench(
+            refs=refs or DEFAULT_REFS, repeat=repeat
+        )
+        print(format_probe_bench(probe_payload))
+        payload["probes"] = probe_payload
     if out != "-":
         write_bench(payload, out)
         print(f"wrote {out}")
@@ -492,6 +538,58 @@ def _cmd_attribute(benchmark: str, config: str, scale: str, top: int) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .telemetry import DEFAULT_WINDOW_REFS, TelemetrySpec, analyze
+
+    if (args.benchmark is None) == (args.trace_path is None):
+        print(
+            "error: analyze needs exactly one of --benchmark or --trace",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace_path is not None:
+        trace = _open_analyze_trace(args.trace_path)
+    else:
+        trace = get_trace(args.benchmark, args.scale, args.seed)
+    spec = TelemetrySpec(
+        window_refs=args.window or DEFAULT_WINDOW_REFS,
+        attribution=args.attribution,
+    )
+    report = analyze(
+        CONFIGS[args.config], trace, telemetry=spec, engine=args.engine
+    )
+    print(report.format())
+    if args.out is not None:
+        from .telemetry import write_report
+
+        paths = write_report(report, args.out)
+        print(f"wrote {', '.join(str(p) for p in paths.values())}")
+    return 0
+
+
+def _open_analyze_trace(path: str):
+    """Open any trace artefact for analysis.
+
+    Store directories and ``.npz`` archives go through
+    :func:`~repro.stream.open_trace`; external ``.din``/``.bin`` traces
+    are ingested into a temporary chunked store (with reconstructed
+    locality tags, so the tag audit has compiler bits to grade).
+    """
+    from .memtrace.store import is_store
+    from .stream import open_trace
+
+    suffix = os.path.splitext(path)[1].lower()
+    if is_store(path) or suffix not in (".din", ".bin"):
+        return open_trace(path)
+    import tempfile
+
+    from .stream.ingest import ingest_trace
+
+    out = tempfile.mkdtemp(prefix="repro-analyze-")
+    ingest_trace(path, out, annotate=True)
+    return open_trace(out)
+
+
 def _cmd_cache(action: str, max_bytes: Optional[str] = None) -> int:
     cache = ResultCache(default_cache_dir())
     if action == "clear":
@@ -546,6 +644,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_attribute(
                 args.benchmark, args.config, args.scale, args.top
             )
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         if args.command == "cache":
             return _cmd_cache(args.action, args.max_bytes)
         raise AssertionError(f"unhandled command {args.command!r}")

@@ -33,6 +33,17 @@ from ..sim.timing import MemoryTiming
 _BUILDERS: Dict[str, Callable[..., Any]] = {}
 
 
+def stable_fingerprint(payload: Dict[str, Any]) -> str:
+    """sha256 hex of the canonical JSON encoding of ``payload``.
+
+    The one fingerprinting convention shared by every content-addressed
+    key in the project (cache specs, telemetry specs): sorted keys, no
+    whitespace, so logically equal payloads hash identically.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def register_kind(kind: str, builder: Callable[..., Any]) -> None:
     """Register a spec kind; ``builder(**params)`` must return a model."""
     if not kind:
@@ -144,8 +155,7 @@ class CacheSpec:
 
     def fingerprint(self) -> str:
         """Stable content hash (hex) — the result-cache key component."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        return stable_fingerprint(self.to_dict())
 
     def __str__(self) -> str:
         return self.label()

@@ -163,12 +163,17 @@ def run_experiment(
     cache: Any = "auto",
     traces: Optional[Mapping[str, Any]] = None,
     engine: Optional[str] = None,
+    telemetry: Any = None,
+    telemetry_dir: Any = None,
 ) -> FigureResult:
     """Run one declared experiment through the sweep engine.
 
     ``traces`` overrides the benchmark registry (used by studies whose
     rows are synthetic traces rather than suite benchmarks).  ``engine``
-    overrides the spec's engine knob for this run.
+    overrides the spec's engine knob for this run.  ``telemetry`` (a
+    :class:`~repro.telemetry.TelemetrySpec`) records per-cell telemetry
+    artifacts under ``telemetry_dir`` — a side channel that never alters
+    the figure's numbers or their result-cache keys.
     """
     from ..harness.runner import run_sweep
     from ..workloads.registry import BENCHMARK_ORDER, get_trace
@@ -187,6 +192,8 @@ def run_experiment(
         jobs=jobs,
         cache=cache,
         engine=engine,
+        telemetry=telemetry,
+        telemetry_dir=telemetry_dir,
     )
     result = FigureResult(
         figure=spec.figure,

@@ -246,6 +246,146 @@ def _timed(fn) -> float:
     return time.perf_counter() - begin
 
 
+# ----------------------------------------------------------------------
+# Telemetry probe overhead
+# ----------------------------------------------------------------------
+#: Probes-off slowdown budget: simulate() without probes may cost at
+#: most this fraction over the bare pre-telemetry hot loop.
+PROBE_OVERHEAD_BUDGET = 0.02
+
+#: Configs measured by bench-probes: one per engine tier.
+PROBE_CONFIGS = ("standard", "soft")
+
+
+def _bare_reference(model, trace: Trace) -> None:
+    """Faithful replica of the pre-telemetry reference hot loop
+    (including the warm-up position check the real loop carries).
+
+    Kept in the benchmark deliberately: probes-off ``simulate()`` is
+    timed against this to catch instrumentation creep into the driver's
+    hot path (the telemetry contract is one ``is None`` test per call,
+    not per reference).
+    """
+    warmup_refs = 0
+    model.reset()
+    addresses, is_write, temporal, spatial, gaps = trace.columns_list()
+    access = model.access
+    timing = getattr(model, "timing", None)
+    pipelined = timing.hit_time if timing is not None else 1
+    clock = 0
+    total = 0
+    for position, (addr, w, t, s, g) in enumerate(
+        zip(addresses, is_write, temporal, spatial, gaps)
+    ):
+        if warmup_refs and position == warmup_refs:
+            pass
+        clock += g
+        cycles = access(addr, w, temporal=t, spatial=s, now=clock)
+        total += cycles
+        extra = cycles - pipelined
+        if extra > 0:
+            clock += extra
+    stats = model.stats
+    stats.trace = trace.name
+    stats.engine = "reference"
+    stats.cycles = total
+    stats.check()
+
+
+def run_probe_bench(
+    refs: int = DEFAULT_REFS,
+    repeat: int = 3,
+    configs: Sequence[str] = PROBE_CONFIGS,
+) -> Dict:
+    """Measure telemetry overhead with probes off and fully on.
+
+    Three timings per (config, engine), best of ``repeat``: the *bare*
+    pre-telemetry hot path (reference: a local replica of the loop;
+    fast: the batch kernels called directly), probes-off ``simulate()``
+    (the shipping path), and a fully-probed run (windows + shadow
+    classification + tag audit).  ``probes_off_overhead`` is the
+    probes-off slowdown over bare — the number the <2% guard watches;
+    ``probed_cost`` is the full-battery cost factor, reported for
+    information (probed runs are expected to be severalfold slower,
+    that is what the probes-off contract is *for*).
+    """
+    from ..telemetry import TelemetrySpec
+
+    specs = _bench_specs(configs)
+    trace = bench_trace(refs)
+    telemetry = TelemetrySpec()
+    rows: List[Dict] = []
+    for name, spec in specs.items():
+        engines = ["reference"]
+        if fast_refusal(spec.build()) is None:
+            engines.append("fast")
+        for engine in engines:
+            if engine == "fast":
+                from ..sim.fast import simulate_fast
+
+                def bare() -> None:
+                    simulate_fast(spec.build(), trace)
+
+            else:
+
+                def bare() -> None:
+                    _bare_reference(spec.build(), trace)
+
+            def probes_off() -> None:
+                simulate(spec.build(), trace, engine=engine)
+
+            def probed() -> None:
+                model = spec.build()
+                simulate(
+                    model, trace, engine=engine,
+                    probes=telemetry.build_probes(model),
+                )
+
+            bare_s = min(_timed(bare) for _ in range(repeat))
+            off_s = min(_timed(probes_off) for _ in range(repeat))
+            probed_s = min(_timed(probed) for _ in range(repeat))
+            overhead = off_s / bare_s - 1.0
+            rows.append(
+                {
+                    "config": name,
+                    "engine": engine,
+                    "bare_refs_per_sec": round(refs / bare_s),
+                    "probes_off_refs_per_sec": round(refs / off_s),
+                    "probed_refs_per_sec": round(refs / probed_s),
+                    "probes_off_overhead": round(overhead, 4),
+                    "probed_cost": round(probed_s / off_s, 2),
+                    "within_budget": overhead < PROBE_OVERHEAD_BUDGET,
+                }
+            )
+    return {
+        "refs": refs,
+        "repeat": repeat,
+        "budget": PROBE_OVERHEAD_BUDGET,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": rows,
+    }
+
+
+def format_probe_bench(payload: Dict) -> str:
+    """Human-readable rendering of a bench-probes payload."""
+    lines = [
+        f"telemetry probe overhead ({payload['refs']} refs, "
+        f"best of {payload['repeat']}, "
+        f"probes-off budget {100 * payload['budget']:.0f}%)"
+    ]
+    for row in payload["results"]:
+        verdict = "ok" if row["within_budget"] else "OVER BUDGET"
+        lines.append(
+            f"  {row['config']:>16} [{row['engine']:>9}]  "
+            f"probes off {100 * row['probes_off_overhead']:+5.1f}% "
+            f"vs bare [{verdict}]; "
+            f"probed {row['probed_cost']:.1f}x "
+            f"({row['probed_refs_per_sec'] / 1e6:.3f} Mrefs/s)"
+        )
+    return "\n".join(lines)
+
+
 def format_stream_bench(payload: Dict) -> str:
     """Human-readable rendering of a bench-stream payload."""
     lines = [

@@ -259,7 +259,7 @@ def _open_cache(
 # ----------------------------------------------------------------------
 # Workers
 # ----------------------------------------------------------------------
-def simulate_cell(payload: Tuple[Trace, CacheSpec, str]) -> SimResult:
+def simulate_cell(payload: Tuple) -> SimResult:
     """Pool work unit: simulate one (trace, spec) cell on a cold cache.
 
     Module-level (not a closure) so it pickles under every start method.
@@ -267,8 +267,21 @@ def simulate_cell(payload: Tuple[Trace, CacheSpec, str]) -> SimResult:
     streams pickle as path + manifest, so out-of-core cells ship no
     trace data across the process boundary; each worker pages its own
     chunks in.
+
+    The payload is ``(trace, spec, engine)`` or, for a telemetry-
+    recording cell, ``(trace, spec, engine, (TelemetrySpec, artifact
+    path))`` — the probed run writes its JSONL artifact and returns the
+    (telemetry-identical) simulation result.
     """
-    trace, spec, engine = payload
+    trace, spec, engine = payload[:3]
+    telemetry = payload[3] if len(payload) > 3 else None
+    if telemetry is not None:
+        from ..telemetry import analyze, write_jsonl
+
+        telemetry_spec, artifact_path = telemetry
+        report = analyze(spec, trace, telemetry=telemetry_spec, engine=engine)
+        write_jsonl(report, artifact_path)
+        return report.result
     from ..stream import TraceStream
 
     if isinstance(trace, TraceStream):
@@ -283,6 +296,8 @@ def run_cells(
     jobs: Union[int, str, None] = None,
     cache: Union[ResultCache, str, os.PathLike, None, bool] = "auto",
     engine: Optional[str] = None,
+    telemetry=None,
+    telemetry_dir: Union[str, os.PathLike, None] = None,
 ) -> List[SimResult]:
     """Run independent (trace, spec) cells, in submitted order.
 
@@ -295,10 +310,33 @@ def run_cells(
     :class:`~repro.stream.TraceStream`; both expose the same
     ``fingerprint()``, so a cell keyed while streamed and the same cell
     keyed in memory share one cache entry.
+
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetrySpec`) records a
+    JSONL telemetry artifact per cell under ``telemetry_dir`` (default
+    :func:`~repro.telemetry.export.default_telemetry_dir`).  Artifacts
+    are keyed separately from results — the result-cache key is
+    untouched — but a cached result only short-circuits simulation when
+    its telemetry artifact also already exists.
     """
     jobs = resolve_jobs(jobs)
     engine = resolve_engine(engine)
     store = _open_cache(cache)
+    artifacts: Dict[int, Path] = {}
+    if telemetry is not None:
+        from ..telemetry.export import (
+            default_telemetry_dir,
+            telemetry_artifact_path,
+        )
+
+        tel_root = (
+            Path(telemetry_dir)
+            if telemetry_dir is not None
+            else default_telemetry_dir()
+        )
+        for index, (trace, spec) in enumerate(cells):
+            artifacts[index] = telemetry_artifact_path(
+                tel_root, trace, spec, engine, telemetry
+            )
     results: List[Optional[SimResult]] = [None] * len(cells)
     pending: List[int] = []
     keys: Dict[int, str] = {}
@@ -308,13 +346,25 @@ def run_cells(
             key = store.key(trace.fingerprint(), spec.fingerprint(), engine)
             keys[index] = key
             cached = store.get(key)
-            if cached is not None:
+            if cached is not None and (
+                telemetry is None or artifacts[index].exists()
+            ):
                 results[index] = cached
                 continue
         pending.append(index)
 
     if pending:
-        payloads = [(cells[i][0], cells[i][1], engine) for i in pending]
+        payloads = [
+            (cells[i][0], cells[i][1], engine)
+            if telemetry is None
+            else (
+                cells[i][0],
+                cells[i][1],
+                engine,
+                (telemetry, str(artifacts[i])),
+            )
+            for i in pending
+        ]
         if jobs == 1 or len(pending) == 1:
             fresh = [simulate_cell(payload) for payload in payloads]
         else:
@@ -328,3 +378,27 @@ def run_cells(
                 store.put(keys[index], result)
 
     return results  # type: ignore[return-value]
+
+
+def telemetry_paths(
+    cells: Sequence[Tuple[Trace, CacheSpec]],
+    telemetry,
+    telemetry_dir: Union[str, os.PathLike, None] = None,
+    engine: Optional[str] = None,
+) -> List[Path]:
+    """Artifact path per cell, mirroring :func:`run_cells`'s keying."""
+    from ..telemetry.export import (
+        default_telemetry_dir,
+        telemetry_artifact_path,
+    )
+
+    engine = resolve_engine(engine)
+    root = (
+        Path(telemetry_dir)
+        if telemetry_dir is not None
+        else default_telemetry_dir()
+    )
+    return [
+        telemetry_artifact_path(root, trace, spec, engine, telemetry)
+        for trace, spec in cells
+    ]

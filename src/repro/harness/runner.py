@@ -23,7 +23,7 @@ from ..memtrace.trace import Trace
 from ..sim.base import CacheModel
 from ..sim.driver import simulate
 from ..sim.result import SimResult
-from .parallel import ResultCache, run_cells
+from .parallel import ResultCache, run_cells, telemetry_paths
 from .tables import format_table
 
 CacheFactory = Callable[[], CacheModel]
@@ -39,6 +39,9 @@ class Sweep:
     #: trace name -> config name -> result
     results: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
     config_order: List[str] = field(default_factory=list)
+    #: trace name -> config name -> telemetry-artifact path (only filled
+    #: when the sweep ran with a TelemetrySpec; see run_sweep).
+    telemetry: Dict[str, Dict[str, str]] = field(default_factory=dict)
 
     def add(self, trace_name: str, config_name: str, result: SimResult) -> None:
         self.results.setdefault(trace_name, {})[config_name] = result
@@ -80,6 +83,8 @@ def run_sweep(
     jobs: Union[int, str, None] = None,
     cache: Union[ResultCache, str, os.PathLike, None, bool] = "auto",
     engine: Optional[str] = None,
+    telemetry=None,
+    telemetry_dir: Union[str, os.PathLike, None] = None,
 ) -> Sweep:
     """Simulate every trace against every configuration (fresh caches).
 
@@ -95,6 +100,13 @@ def run_sweep(
     :class:`~repro.stream.TraceStream` instances; streams simulate
     out-of-core in O(chunk) memory and share result-cache entries with
     their materialised equivalents (same content fingerprint).
+
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetrySpec`) makes every
+    spec cell record a JSONL telemetry artifact under ``telemetry_dir``;
+    paths land in ``Sweep.telemetry`` keyed like ``Sweep.results``.
+    Telemetry never changes a result or its cache key — artifacts are
+    keyed separately (legacy factory cells have no fingerprint and are
+    skipped).
     """
     # Submitted order: row-major over the input mappings.  The Sweep is
     # assembled from this list after all cells complete, so parallel
@@ -111,15 +123,27 @@ def run_sweep(
         if isinstance(cfg, CacheSpec)
     ]
     cell_results: Dict[int, SimResult] = {}
+    cell_artifacts: Dict[int, str] = {}
     if spec_cells:
         outcomes = run_cells(
             [cell for _, cell in spec_cells],
             jobs=jobs,
             cache=cache,
             engine=engine,
+            telemetry=telemetry,
+            telemetry_dir=telemetry_dir,
         )
         for (index, _), result in zip(spec_cells, outcomes):
             cell_results[index] = result
+        if telemetry is not None:
+            paths = telemetry_paths(
+                [cell for _, cell in spec_cells],
+                telemetry,
+                telemetry_dir=telemetry_dir,
+                engine=engine,
+            )
+            for (index, _), path in zip(spec_cells, paths):
+                cell_artifacts[index] = str(path)
 
     sweep = Sweep()
     for index, (trace_name, config_name, config) in enumerate(grid):
@@ -135,4 +159,8 @@ def run_sweep(
             else:
                 result = simulate(config(), trace, engine=engine)
         sweep.add(trace_name, config_name, result)
+        if index in cell_artifacts:
+            sweep.telemetry.setdefault(trace_name, {})[
+                config_name
+            ] = cell_artifacts[index]
     return sweep

@@ -4,15 +4,20 @@ The paper's related work (§5) cites Abraham et al.: code profiling shows
 that *few load/store instructions induce many cache misses*, which is
 what makes per-instruction tags (and labeled load/stores generally)
 worthwhile — a handful of static instructions carry the hint bits that
-matter.  This module measures that concentration on our traces: it runs
-a simulation while attributing every miss and stall cycle to the static
-instruction (``ref_id``) that issued the reference.
+matter.  This module measures that concentration on our traces.
+
+The instrumentation itself lives in the telemetry probe layer
+(:class:`~repro.telemetry.probes.AttributionProbe` consuming the
+engines' canonical event batches); :func:`attribute` attaches that
+probe through the normal ``simulate(..., probes=...)`` entry and
+re-shapes its profiles into the :class:`Attribution` API — one
+instrumentation path, engine- and chunking-independent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from ..errors import TraceError
 from ..memtrace.trace import Trace
@@ -85,37 +90,20 @@ class Attribution:
 def attribute(model: CacheModel, trace: Trace) -> Attribution:
     """Simulate ``trace`` on ``model``, attributing misses per instruction.
 
-    The clock discipline matches :func:`repro.sim.driver.simulate`; the
-    model is reset first.
+    Runs the normal simulation entry (any engine) with an
+    :class:`~repro.telemetry.probes.AttributionProbe` attached; the
+    model is reset first and counters match an un-probed run exactly.
     """
+    from ..sim.driver import simulate
+    from ..telemetry.probes import AttributionProbe, ProbeSet
+
     if trace.ref_ids is None:
         raise TraceError("attribution requires a trace with ref_ids")
-    model.reset()
-    addresses, is_write, temporal, spatial, gaps = trace.columns()
-    ref_ids = trace.ref_ids.tolist()
-    access = model.access
-    timing = getattr(model, "timing", None)
-    pipelined = timing.hit_time if timing is not None else 1
-
+    probe = AttributionProbe()
+    simulate(model, trace, probes=ProbeSet([probe]))
     result = Attribution(cache=model.name, trace=trace.name)
-    profiles = result.per_instruction
-    clock = 0
-    misses_before = 0
-    for addr, w, t, s, g, rid in zip(
-        addresses, is_write, temporal, spatial, gaps, ref_ids
-    ):
-        clock += g
-        cycles = access(addr, w, temporal=t, spatial=s, now=clock)
-        extra = cycles - pipelined
-        if extra > 0:
-            clock += extra
-        profile = profiles.get(rid)
-        if profile is None:
-            profile = profiles[rid] = InstructionProfile(rid)
-        profile.refs += 1
-        profile.cycles += cycles
-        misses_now = model.stats.misses
-        if misses_now != misses_before:
-            profile.misses += misses_now - misses_before
-            misses_before = misses_now
+    for rid, (refs, misses, cycles) in sorted(probe.profiles.items()):
+        result.per_instruction[rid] = InstructionProfile(
+            int(rid), refs=int(refs), misses=int(misses), cycles=int(cycles)
+        )
     return result

@@ -55,6 +55,8 @@ def suite_summary(
     speedups = []
     for bench, row in results.items():
         base, cand = row[baseline], row[candidate]
+        if cand.amat == 0:
+            raise ConfigError(f"candidate AMAT is zero for {bench!r}")
         summary[bench] = {
             "amat_improvement": amat_improvement(base, cand),
             "miss_reduction": miss_reduction(base, cand),

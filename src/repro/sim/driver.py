@@ -9,16 +9,36 @@ The ``engine`` knob selects between the two simulation tiers (see
 :mod:`repro.sim.engine`): the per-reference ``reference`` loop below,
 and the exact batch kernels of :mod:`repro.sim.fast`.  The default
 (``auto``) uses the fast engine whenever the model proves equivalence.
+
+The ``probes`` knob attaches a telemetry
+:class:`~repro.telemetry.probes.ProbeSet`.  Probes-off runs keep the
+hot loops below byte-identical to the un-probed code (the only cost is
+one ``is None`` test per call); probed runs route through
+:func:`_simulate_reference_probed`, a single instrumented loop shared
+by the in-memory and streamed entry points (and by
+:func:`repro.metrics.attribution.attribute`), or through the fast
+engine's exact per-reference reconstruction.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from ..errors import ConfigError
 from ..memtrace.trace import Trace
 from .base import CacheModel
 from .engine import select_engine
 from .result import SimResult
+
+
+def _check_probed_run(probes, reset: bool, warmup_refs: int) -> None:
+    """Probed runs must cover the whole trace from a cold cache —
+    telemetry of a partial or warm-start run would not match its
+    counters (and the fast engine refuses those runs anyway)."""
+    if probes is not None and (not reset or warmup_refs):
+        raise ConfigError(
+            "telemetry probes require reset=True and warmup_refs=0"
+        )
 
 
 def simulate(
@@ -27,6 +47,7 @@ def simulate(
     reset: bool = True,
     warmup_refs: int = 0,
     engine: Optional[str] = None,
+    probes=None,
 ) -> SimResult:
     """Run ``trace`` through ``model`` and return the finalised result.
 
@@ -37,17 +58,32 @@ def simulate(
     paper measures whole cold-start traces; warm-up is offered for
     methodological comparisons).  ``engine`` is ``auto`` / ``reference``
     / ``fast`` (default: ``$REPRO_ENGINE`` or ``auto``); the selection
-    actually used is recorded in ``SimResult.engine``.
+    actually used is recorded in ``SimResult.engine``.  ``probes`` is an
+    optional telemetry :class:`~repro.telemetry.probes.ProbeSet`; the
+    counters of a probed run are identical to an un-probed one.
     """
     if warmup_refs < 0:
         raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
+    _check_probed_run(probes, reset, warmup_refs)
     chosen, _ = select_engine(
         engine, model, reset=reset, warmup_refs=warmup_refs
     )
     if chosen == "fast":
         from .fast import simulate_fast
 
+        if probes is not None:
+            return simulate_fast(model, trace, probes=probes)
         return simulate_fast(model, trace)
+    if probes is not None:
+        # One instrumented reference loop serves both entry points: the
+        # trace is windowed into a stream (zero-copy chunk views, same
+        # name/fingerprint), so probed in-memory and streamed runs are
+        # literally the same code path.
+        from ..stream import TraceStream
+
+        return _simulate_reference_probed(
+            model, TraceStream.from_trace(trace), probes
+        )
 
     if reset:
         model.reset()
@@ -96,6 +132,7 @@ def simulate_stream(
     reset: bool = True,
     warmup_refs: int = 0,
     engine: Optional[str] = None,
+    probes=None,
 ) -> SimResult:
     """Run a :class:`~repro.stream.TraceStream` through ``model``.
 
@@ -105,18 +142,24 @@ def simulate_stream(
     and calling :func:`simulate` — the reference loop below carries the
     clock across chunk windows, and the fast path
     (:func:`repro.sim.fast.simulate_fast_stream`) carries cache, write
-    buffer and timing state explicitly.  Engine selection, warm-up and
-    ``reset`` semantics match :func:`simulate`.
+    buffer and timing state explicitly.  Engine selection, warm-up,
+    ``reset`` and ``probes`` semantics match :func:`simulate`; probed
+    streams stay O(chunk) (probes hold aggregate state only).
     """
     if warmup_refs < 0:
         raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
+    _check_probed_run(probes, reset, warmup_refs)
     chosen, _ = select_engine(
         engine, model, reset=reset, warmup_refs=warmup_refs
     )
     if chosen == "fast":
         from .fast import simulate_fast_stream
 
+        if probes is not None:
+            return simulate_fast_stream(model, stream, probes=probes)
         return simulate_fast_stream(model, stream)
+    if probes is not None:
+        return _simulate_reference_probed(model, stream, probes)
 
     if reset:
         model.reset()
@@ -155,6 +198,98 @@ def simulate_stream(
         for field, value in counters.items():
             setattr(stats, field, getattr(stats, field) - value)
     stats.check()
+    return stats
+
+
+def _simulate_reference_probed(
+    model: CacheModel, stream, probes
+) -> SimResult:
+    """The reference loop with telemetry batch emission.
+
+    Same clock discipline as the plain loops above; additionally every
+    access's outcome is read off the model's counter deltas (a single
+    access increments ``misses``/``hits_assist`` by at most one and
+    ``words_fetched``/``write_buffer_stalls`` by its own contribution),
+    buffered per chunk, and flushed to the probes as one
+    :class:`~repro.telemetry.events.TelemetryBatch`.  The model was
+    validated cold-start/no-warm-up by the caller, so the counters are
+    exactly those of an un-probed run.
+    """
+    import numpy as np
+
+    from ..telemetry.events import TelemetryBatch
+
+    model.reset()
+    access = model.access
+    timing = getattr(model, "timing", None)
+    pipelined = timing.hit_time if timing is not None else 1
+    stats = model.stats
+
+    clock = 0
+    total = 0
+    position = 0
+    prev_miss = stats.misses
+    prev_assist = stats.hits_assist
+    prev_words = stats.words_fetched
+    prev_stall = stats.write_buffer_stalls
+    for chunk in stream.chunks():
+        addresses, is_write, temporal, spatial, gaps = chunk.columns_list()
+        n = len(addresses)
+        miss_col = np.zeros(n, dtype=bool)
+        assist_col = np.zeros(n, dtype=bool)
+        cycles_col = np.zeros(n, dtype=np.int64)
+        words_col = np.zeros(n, dtype=np.int64)
+        stall_col = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            clock += gaps[i]
+            cycles = access(
+                addresses[i], is_write[i],
+                temporal=temporal[i], spatial=spatial[i], now=clock,
+            )
+            total += cycles
+            extra = cycles - pipelined
+            if extra > 0:
+                clock += extra
+            cycles_col[i] = cycles
+            value = stats.misses
+            if value != prev_miss:
+                miss_col[i] = True
+                prev_miss = value
+            value = stats.hits_assist
+            if value != prev_assist:
+                assist_col[i] = True
+                prev_assist = value
+            value = stats.words_fetched
+            if value != prev_words:
+                words_col[i] = value - prev_words
+                prev_words = value
+            value = stats.write_buffer_stalls
+            if value != prev_stall:
+                stall_col[i] = value - prev_stall
+                prev_stall = value
+        probes.on_batch(
+            TelemetryBatch(
+                start=position,
+                addresses=chunk.addresses,
+                is_write=chunk.is_write,
+                temporal=chunk.temporal,
+                spatial=chunk.spatial,
+                gaps=chunk.gaps,
+                miss=miss_col,
+                assist_hit=assist_col,
+                cycles=cycles_col,
+                words=words_col,
+                wb_stall=stall_col,
+                ref_ids=chunk.ref_ids,
+            )
+        )
+        position += n
+
+    stats.trace = stream.name
+    stats.engine = "reference"
+    stats.cycles = total
+    stats.check()
+    probes.finish(stats)
     return stats
 
 

@@ -213,6 +213,7 @@ def _accumulate_timing(
     penalty: int,
     wb_entries: int,
     wb_drain: int,
+    per_ref_stalls: Optional[np.ndarray] = None,
 ) -> _Timing:
     """Exact cycle/stall accounting over the miss mask.
 
@@ -224,6 +225,11 @@ def _accumulate_timing(
     ``penalty`` cycles apart — so with ``penalty >= drain`` a buffered
     write buffer can never back up (every push finds it empty), and an
     unbuffered one (``entries == 0``) stalls exactly ``drain`` per push.
+
+    ``per_ref_stalls`` (an int64 zeros array of trace length, telemetry
+    only) receives each push's stall at its reference index — together
+    with the history-free per-reference wait this reconstructs every
+    access's exact cycle charge (see :func:`_per_ref_cycles`).
     """
     n = len(gaps)
     n_hits = int(hits.sum())
@@ -251,6 +257,8 @@ def _accumulate_timing(
         last_push_stall = wb_drain
         write_buffer.pushes = n_pushes
         write_buffer.stall_cycles = offset
+        if per_ref_stalls is not None:
+            per_ref_stalls[pushes] = wb_drain
     elif len(pushes) and penalty >= wb_drain:
         # Never backs up: zero stall per push, and at the last push the
         # buffer was found empty, so exactly one entry is left draining.
@@ -265,6 +273,8 @@ def _accumulate_timing(
             offset += stall
             last_push_index = index
             last_push_stall = stall
+            if per_ref_stalls is not None:
+                per_ref_stalls[index] = stall
 
     cycles = (
         int(wait.sum()) + offset
@@ -290,14 +300,41 @@ def _accumulate_timing(
     return _Timing(cycles, offset, write_buffer, ready_at, bus_free_at)
 
 
-def simulate_fast(model, trace: Trace) -> SimResult:
+def _per_ref_cycles(
+    gaps: np.ndarray,
+    hits: np.ndarray,
+    stalls: np.ndarray,
+    hit_time: int,
+    penalty: int,
+    first: bool,
+) -> np.ndarray:
+    """Exact per-reference cycle charges, reconstructed closed-form.
+
+    For the supported models the reference engine charges every access
+    ``wait + stall + service`` where ``wait = max(0, H - gap)`` (zero
+    for the very first reference — see the module docstring's
+    history-free derivation), ``stall`` is the access's own write-buffer
+    push stall and ``service`` is ``H`` on a hit, the miss penalty
+    otherwise.  Summing reproduces the timing pass's totals exactly,
+    which the probed entry points assert.
+    """
+    wait = hit_time - gaps.astype(np.int64)
+    np.clip(wait, 0, None, out=wait)
+    if first and len(wait):
+        wait[0] = 0
+    service = np.where(hits, hit_time, penalty)
+    return wait + stalls + service
+
+
+def simulate_fast(model, trace: Trace, probes=None) -> SimResult:
     """Run ``trace`` through the batch kernels and return the result.
 
     ``model`` must have been accepted by
     :func:`repro.sim.engine.fast_refusal` — a write-back LRU cache with
     no assist structures.  The model is reset, its counters computed in
     batch, and its final state materialised as if the reference engine
-    had run.
+    had run.  With ``probes``, per-reference outcomes are reconstructed
+    exactly from the kernel outputs and emitted as one telemetry batch.
     """
     model.reset()
     stats = model.stats
@@ -306,6 +343,8 @@ def simulate_fast(model, trace: Trace) -> SimResult:
     n = len(trace)
     if n == 0:
         stats.check()
+        if probes is not None:
+            probes.finish(stats)
         return stats
 
     geometry = model.geometry
@@ -328,6 +367,9 @@ def simulate_fast(model, trace: Trace) -> SimResult:
             bool(getattr(model, "_temporal_priority", False)),
         )
 
+    per_ref_stalls = (
+        np.zeros(n, dtype=np.int64) if probes is not None else None
+    )
     timed = _accumulate_timing(
         trace.gaps.astype(np.int64, copy=True),
         functional.hits,
@@ -336,6 +378,7 @@ def simulate_fast(model, trace: Trace) -> SimResult:
         penalty,
         model.write_buffer.entries,
         model.write_buffer.drain_cycles,
+        per_ref_stalls=per_ref_stalls,
     )
 
     stats.refs = n
@@ -349,10 +392,39 @@ def simulate_fast(model, trace: Trace) -> SimResult:
 
     _materialise_state(model, trace, functional, timed)
     stats.check()
+    if probes is not None:
+        from ..telemetry.events import TelemetryBatch
+
+        miss = ~functional.hits
+        cycles_col = _per_ref_cycles(
+            trace.gaps, functional.hits, per_ref_stalls,
+            hit_time, penalty, first=True,
+        )
+        assert int(cycles_col.sum()) == stats.cycles, (
+            "per-reference cycle reconstruction disagrees with the "
+            "timing pass"
+        )
+        probes.on_batch(
+            TelemetryBatch(
+                start=0,
+                addresses=trace.addresses,
+                is_write=trace.is_write,
+                temporal=trace.temporal,
+                spatial=trace.spatial,
+                gaps=trace.gaps,
+                miss=miss,
+                assist_hit=np.zeros(n, dtype=bool),
+                cycles=cycles_col,
+                words=miss.astype(np.int64) * words_per_line,
+                wb_stall=per_ref_stalls,
+                ref_ids=trace.ref_ids,
+            )
+        )
+        probes.finish(stats)
     return stats
 
 
-def simulate_fast_stream(model, stream) -> SimResult:
+def simulate_fast_stream(model, stream, probes=None) -> SimResult:
     """Chunk-wise batch simulation with explicit state carry-over.
 
     Consumes a :class:`~repro.stream.TraceStream` one chunk at a time —
@@ -435,11 +507,43 @@ def simulate_fast_stream(model, stream) -> SimResult:
                 la, sets, chunk.is_write, chunk.temporal,
                 ways, temporal_priority, sets_state,
             )
+        per_ref_stalls = (
+            np.zeros(n, dtype=np.int64) if probes is not None else None
+        )
         timed = _chunk_timing(
             chunk.gaps, hits, victim_dirty, hit_time, penalty,
             write_buffer, first, prev_base, prev_miss,
+            per_ref_stalls=per_ref_stalls,
         )
         chunk_cycles, chunk_stalls, prev_base, ready_at, chunk_bus = timed
+        if probes is not None:
+            from ..telemetry.events import TelemetryBatch
+
+            miss = ~hits
+            cycles_col = _per_ref_cycles(
+                chunk.gaps, hits, per_ref_stalls,
+                hit_time, penalty, first=first,
+            )
+            assert int(cycles_col.sum()) == chunk_cycles, (
+                "per-reference cycle reconstruction disagrees with the "
+                "chunk timing pass"
+            )
+            probes.on_batch(
+                TelemetryBatch(
+                    start=refs,
+                    addresses=chunk.addresses,
+                    is_write=chunk.is_write,
+                    temporal=chunk.temporal,
+                    spatial=chunk.spatial,
+                    gaps=chunk.gaps,
+                    miss=miss,
+                    assist_hit=np.zeros(n, dtype=bool),
+                    cycles=cycles_col,
+                    words=miss.astype(np.int64) * words_per_line,
+                    wb_stall=per_ref_stalls,
+                    ref_ids=chunk.ref_ids,
+                )
+            )
         cycles += chunk_cycles
         stalls += chunk_stalls
         if chunk_bus is not None:
@@ -482,6 +586,8 @@ def simulate_fast_stream(model, stream) -> SimResult:
             for entries in sets_state
         ]
     stats.check()
+    if probes is not None:
+        probes.finish(stats)
     return stats
 
 
@@ -628,6 +734,7 @@ def _chunk_timing(
     first: bool,
     prev_base: int,
     prev_miss: bool,
+    per_ref_stalls: Optional[np.ndarray] = None,
 ) -> Tuple[int, int, int, int, Optional[int]]:
     """One chunk of :func:`_accumulate_timing`, seeded by carried state.
 
@@ -637,6 +744,8 @@ def _chunk_timing(
     they are exactly what the one-reference-back recurrence needs.
     Returns ``(cycles, stalls, new_base, ready_at, bus_free_at)``
     where ``bus_free_at`` is None when the chunk had no miss.
+    ``per_ref_stalls`` is the telemetry hook of
+    :func:`_accumulate_timing`, chunk-local.
     """
     n = len(gaps)
     wait = hit_time - gaps
@@ -666,6 +775,8 @@ def _chunk_timing(
         last_push_stall = wb_drain
         write_buffer.pushes += n_pushes
         write_buffer.stall_cycles += offset
+        if per_ref_stalls is not None:
+            per_ref_stalls[pushes] = wb_drain
     elif len(pushes) and penalty >= wb_drain:
         # Pushes are >= penalty >= drain cycles apart — across chunk
         # boundaries too, since chunking does not move push times — so
@@ -683,6 +794,8 @@ def _chunk_timing(
             offset += stall
             last_push_index = index
             last_push_stall = stall
+            if per_ref_stalls is not None:
+                per_ref_stalls[index] = stall
 
     n_hits = int(hits.sum())
     chunk_cycles = (

@@ -1,0 +1,147 @@
+"""Telemetry exporters and the separately-keyed artifact store.
+
+Formats
+-------
+``report.json``
+    The full :meth:`~repro.telemetry.report.TelemetryReport.to_dict`
+    payload, indented.
+``telemetry.jsonl``
+    One self-describing JSON object per line: first a ``{"type":
+    "report", ...}`` line carrying the run summary and every scalar
+    section, then one ``{"type": "window", ...}`` line per time-series
+    window.  Line-oriented so sweep artifacts concatenate and stream.
+``windows.csv``
+    The window series alone, one row per window — the
+    spreadsheet-friendly view.
+
+Artifact keying
+---------------
+Sweep telemetry artifacts are content-addressed like result-cache
+cells, but in their *own* key space: ``sha256(SIM_VERSION, trace
+fingerprint, cache-spec fingerprint, engine, telemetry fingerprint)``.
+The result-cache key never sees the telemetry fingerprint, so enabling
+telemetry can never invalidate (or fork) cached ``SimResult`` cells.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+from .report import TelemetryReport
+
+#: Column order of the windows CSV (derived columns last).
+WINDOW_FIELDS = (
+    "window", "start", "refs", "misses", "assist_hits", "cycles",
+    "words", "wb_stalls", "miss_rate", "amat", "traffic",
+)
+
+
+def jsonl_lines(report: TelemetryReport) -> Iterator[str]:
+    """The JSONL rendering, line by line (no trailing newlines)."""
+    payload = report.to_dict()
+    windows = payload.pop("windows", [])
+    yield json.dumps({"type": "report", **payload}, sort_keys=True)
+    for row in windows:
+        yield json.dumps({"type": "window", **row}, sort_keys=True)
+
+
+def write_jsonl(
+    report: TelemetryReport, path: Union[str, os.PathLike]
+) -> Path:
+    """Atomically write the JSONL artifact (mkstemp + replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".jsonl"
+    )
+    with os.fdopen(fd, "w") as handle:
+        for line in jsonl_lines(report):
+            handle.write(line + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def write_csv(report: TelemetryReport, path: Union[str, os.PathLike]) -> Path:
+    """Write the window time series as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=WINDOW_FIELDS)
+        writer.writeheader()
+        for row in report.windows:
+            writer.writerow({name: row[name] for name in WINDOW_FIELDS})
+    return path
+
+
+def write_report(
+    report: TelemetryReport, out_dir: Union[str, os.PathLike]
+) -> Dict[str, Path]:
+    """Write all three renderings into ``out_dir``; returns the paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / "report.json"
+    json_path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return {
+        "report.json": json_path,
+        "telemetry.jsonl": write_jsonl(report, out_dir / "telemetry.jsonl"),
+        "windows.csv": write_csv(report, out_dir / "windows.csv"),
+    }
+
+
+def read_jsonl(path: Union[str, os.PathLike]) -> List[Dict]:
+    """Parse a JSONL artifact back into its line objects."""
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# Sweep artifact store
+# ----------------------------------------------------------------------
+def default_telemetry_dir() -> Path:
+    """Artifact location, honouring ``REPRO_TELEMETRY_DIR``/XDG."""
+    explicit = os.environ.get("REPRO_TELEMETRY_DIR")
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "telemetry"
+
+
+def telemetry_key(
+    trace_fingerprint: str,
+    spec_fingerprint: str,
+    engine: str,
+    telemetry_fingerprint: str,
+) -> str:
+    """Content key of one sweep cell's telemetry artifact."""
+    from ..harness.parallel import SIM_VERSION
+
+    material = (
+        f"{SIM_VERSION}\n{trace_fingerprint}\n{spec_fingerprint}"
+        f"\n{engine}\n{telemetry_fingerprint}"
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def telemetry_artifact_path(
+    root: Union[str, os.PathLike, None],
+    trace,
+    spec,
+    engine: str,
+    telemetry,
+) -> Path:
+    """Deterministic artifact path of one (trace, spec, engine) cell."""
+    root = Path(root) if root is not None else default_telemetry_dir()
+    key = telemetry_key(
+        trace.fingerprint(),
+        spec.fingerprint(),
+        engine,
+        telemetry.fingerprint(),
+    )
+    return root / key[:2] / f"{key}.jsonl"

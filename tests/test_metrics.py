@@ -42,6 +42,10 @@ class TestComparisons:
     def test_amat_improvement(self):
         assert amat_improvement(result(400), result(300)) == pytest.approx(0.25)
 
+    def test_amat_improvement_zero_baseline_rejected(self):
+        with pytest.raises(ConfigError):
+            amat_improvement(result(cycles=0), result(300))
+
     def test_miss_reduction(self):
         assert miss_reduction(result(misses=40), result(misses=10)) == 0.75
 
@@ -68,3 +72,14 @@ class TestSuiteSummary:
         assert "geomean" in summary
         assert 0 < summary["geomean"]["amat_improvement"] < 0.5
         assert math.isnan(summary["geomean"]["miss_reduction"])
+
+    def test_empty_grid_rejected(self):
+        # No benchmarks means no speedups — the geometric mean underneath
+        # must refuse rather than return a silent identity value.
+        with pytest.raises(ConfigError):
+            suite_summary({}, "base", "soft")
+
+    def test_zero_amat_candidate_rejected(self):
+        grid = {"b1": {"base": result(400), "soft": result(cycles=0)}}
+        with pytest.raises(ConfigError):
+            suite_summary(grid, "base", "soft")
