@@ -14,7 +14,8 @@ Run:  python examples/sparse_directives.py
 
 import numpy as np
 
-from repro import presets, simulate
+from repro import simulate
+from repro.core import presets
 from repro.compiler import Array, ArrayRef, Loop, Program, generate_trace, nest, var
 from repro.harness import format_table
 

@@ -11,7 +11,8 @@ Run:  python examples/trace_workflow.py
 import tempfile
 from pathlib import Path
 
-from repro import presets, simulate
+from repro import simulate
+from repro.core import presets
 from repro.harness import format_table
 from repro.memtrace import load_trace, save_trace
 from repro.metrics import attribute

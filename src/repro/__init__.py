@@ -11,12 +11,18 @@ the per-figure experiment drivers.
 
 Quick start::
 
-    from repro import presets, simulate, get_trace
+    from repro import simulate, get_trace
 
     trace = get_trace("MV")                 # instrumented matrix-vector trace
-    standard = simulate(presets.standard(), trace)
-    soft = simulate(presets.soft(), trace)
+    standard = simulate("standard", trace)  # preset name, spec or model
+    soft = simulate("soft", trace)
     print(standard.amat, "->", soft.amat)
+
+:func:`simulate` is the unified run surface (:mod:`repro.api`): it
+accepts a preset name, a :class:`CacheSpec` or a built model, an
+in-memory :class:`Trace`, a :class:`TraceStream` or a stored-trace
+path, and returns a :class:`SimResult` — or a full
+:class:`TelemetryReport` when ``telemetry=`` is given.
 """
 
 from .core import (
@@ -34,6 +40,7 @@ from .errors import (
     SimulationError,
     TraceError,
 )
+from .api import simulate
 from .memtrace import Trace, TraceBuilder, TraceEntry, TraceStore
 from .sim import (
     BypassCache,
@@ -41,7 +48,6 @@ from .sim import (
     MemoryTiming,
     SimResult,
     StandardCache,
-    simulate,
     simulate_many,
     simulate_stream,
 )

@@ -1,0 +1,110 @@
+"""The unified run surface: one ``simulate()`` for every path.
+
+Historically callers picked an entry point by import: ``sim.simulate``
+for in-memory traces, ``sim.simulate_stream`` for out-of-core streams,
+``telemetry.analyze`` for probed runs.  :func:`simulate` subsumes all
+three behind one signature and dispatches on what it is given:
+
+==============================  =======================================
+argument                        dispatch
+==============================  =======================================
+``config`` is a CacheSpec       a fresh model is built
+``config`` is a preset name     looked up in :data:`repro.presets.SPECS`
+``config`` is a model           used as-is (warm state allowed)
+``trace`` is a Trace            in-memory simulation
+``trace`` is a stream / path    chunked out-of-core simulation
+``telemetry=`` given            probed run returning a TelemetryReport
+==============================  =======================================
+
+The specialised entry points remain importable and behave exactly as
+before — they are what this facade delegates to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from .core.spec import CacheSpec
+from .memtrace.trace import Trace
+from .sim.result import SimResult
+
+
+def _resolve_model(config):
+    if isinstance(config, CacheSpec):
+        return config.build()
+    if isinstance(config, str):
+        from . import presets
+
+        return presets.spec(config).build()
+    return config
+
+
+def simulate(
+    config,
+    trace,
+    reset: bool = True,
+    warmup_refs: int = 0,
+    *,
+    engine: Optional[str] = None,
+    probes=None,
+    telemetry=None,
+) -> Union[SimResult, "TelemetryReport"]:
+    """Run one simulation, whatever the config and trace delivery.
+
+    ``config`` is a :class:`~repro.core.spec.CacheSpec`, a registered
+    preset name (``"soft"``), or an already-built model.  ``trace`` is
+    an in-memory :class:`~repro.memtrace.trace.Trace`, a
+    :class:`~repro.stream.TraceStream` (or any object with ``chunks()``),
+    or a path to a stored trace (opened as a stream).
+
+    Returns a :class:`~repro.sim.result.SimResult` — or, when
+    ``telemetry=`` is given (a
+    :class:`~repro.telemetry.TelemetrySpec`, or ``True`` for the
+    default spec), a :class:`~repro.telemetry.TelemetryReport` whose
+    ``.result`` carries the same counters.
+
+    ``engine`` picks the simulation engine (``auto``/``reference``/
+    ``fast``); when ``auto`` falls back, the structured refusal is
+    recorded on ``result.engine_refusal``.  ``reset=False`` and
+    ``warmup_refs`` behave as in the specialised entry points (and are
+    incompatible with probed runs, which need the full cold trace).
+    """
+    from .sim import driver
+
+    model = _resolve_model(config)
+    if isinstance(trace, (str, Path)):
+        from .stream import open_trace
+
+        trace = open_trace(trace)
+
+    if telemetry is not None:
+        from .telemetry import TelemetrySpec, analyze
+
+        if probes is not None:
+            raise ValueError(
+                "pass either telemetry= (a spec) or probes= (built "
+                "probes), not both"
+            )
+        if not reset or warmup_refs:
+            raise ValueError(
+                "telemetry runs need the full cold trace: reset=False / "
+                "warmup_refs are not supported with telemetry="
+            )
+        spec = None if telemetry is True else telemetry
+        if spec is not None and not isinstance(spec, TelemetrySpec):
+            raise TypeError(
+                f"telemetry= expects a TelemetrySpec or True, "
+                f"got {type(telemetry).__name__}"
+            )
+        return analyze(model, trace, telemetry=spec, engine=engine)
+
+    if isinstance(trace, Trace):
+        return driver.simulate(
+            model, trace, reset=reset, warmup_refs=warmup_refs,
+            engine=engine, probes=probes,
+        )
+    return driver.simulate_stream(
+        model, trace, reset=reset, warmup_refs=warmup_refs,
+        engine=engine, probes=probes,
+    )

@@ -116,6 +116,13 @@ def _parser() -> argparse.ArgumentParser:
         "identical counters (configs with no fast path just run the "
         "reference engine)",
     )
+    sim.add_argument(
+        "--explain-engine",
+        action="store_true",
+        help="print, per configuration, which engine 'auto' (or "
+        "--engine) selects and the structured refusal (code: message) "
+        "when the fast engine cannot run; no simulation happens",
+    )
     _add_jobs_argument(sim)
     _add_engine_argument(sim)
 
@@ -134,12 +141,19 @@ def _parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--scenario",
-        choices=("engine", "stream", "probes", "all"),
+        choices=("engine", "soft", "stream", "probes", "all"),
         default="engine",
-        help="'engine' = per-engine throughput, 'stream' = streamed vs "
+        help="'engine' = per-engine throughput, 'soft' = assisted-path "
+        "kernels on the blocked-loop workload, 'stream' = streamed vs "
         "in-memory throughput and peak memory, 'probes' = telemetry "
         "overhead with probes off and on, 'all' = everything "
         "(default engine)",
+    )
+    bench.add_argument(
+        "--min-soft-speedup", type=float, default=None, metavar="X",
+        help="fail (exit 1) if any soft-family fast speedup falls below "
+        "X or the soft refusal matrix has entries (CI guard; implies "
+        "the soft scenario ran)",
     )
     bench.add_argument(
         "--stream-refs", type=int, default=None, metavar="N",
@@ -307,7 +321,10 @@ def _cmd_simulate(
     benchmark: Optional[str], config: str, scale: str, seed: int,
     jobs: Optional[int] = None, engine: Optional[str] = None,
     cross_validate: bool = False, trace_path: Optional[str] = None,
+    explain_engine: bool = False,
 ) -> int:
+    if explain_engine:
+        return _explain_engine(config, engine)
     if (benchmark is None) == (trace_path is None):
         print(
             "error: simulate needs exactly one of --benchmark or --trace",
@@ -353,27 +370,71 @@ def _cmd_simulate(
     return 0
 
 
+def _explain_engine(config: str, engine: Optional[str]) -> int:
+    """Report engine selection per configuration without simulating."""
+    from .errors import ConfigError
+    from .sim.engine import fast_refusal, resolve_engine
+
+    knob = resolve_engine(engine)
+    chosen = dict(CONFIGS) if config == "all" else {config: CONFIGS[config]}
+    width = max(len(label) for label in chosen)
+    print(f"engine knob: {knob}")
+    for label, spec in chosen.items():
+        refusal = fast_refusal(spec.build())
+        if refusal is None:
+            selected, detail = "fast", "batch kernels proven equivalent"
+        elif knob == "fast":
+            selected = "error"
+            detail = f"refused [{refusal.code}]: {refusal.message}"
+        else:
+            selected = "reference"
+            detail = f"[{refusal.code}] {refusal.message}"
+        print(f"  {label:<{width}}  {selected:<9}  {detail}")
+    if knob == "fast" and any(
+        fast_refusal(spec.build()) is not None for spec in chosen.values()
+    ):
+        raise ConfigError(
+            "engine='fast' cannot run every selected configuration "
+            "(see refusals above)"
+        )
+    return 0
+
+
 def _cmd_bench(
     refs: Optional[int], repeat: int, out: str,
     scenario: str = "engine", stream_refs: Optional[int] = None,
-    chunk_refs: int = 1 << 18,
+    chunk_refs: int = 1 << 18, min_soft_speedup: Optional[float] = None,
 ) -> int:
     from .harness.bench import (
         DEFAULT_REFS,
         DEFAULT_STREAM_REFS,
         format_bench,
         format_probe_bench,
+        format_soft_bench,
         format_stream_bench,
         run_bench,
         run_probe_bench,
+        run_soft_bench,
         run_stream_bench,
+        soft_bench_guard,
         write_bench,
     )
 
     payload = {}
+    guard_problems = []
     if scenario in ("engine", "all"):
         payload = run_bench(refs=refs or DEFAULT_REFS, repeat=repeat)
         print(format_bench(payload))
+    if scenario in ("soft", "all") or min_soft_speedup is not None:
+        soft_payload = run_soft_bench(
+            refs=refs or DEFAULT_REFS, repeat=repeat
+        )
+        print(format_soft_bench(soft_payload))
+        payload["soft"] = soft_payload
+        if min_soft_speedup is not None:
+            guard_problems = soft_bench_guard(
+                soft_payload, min_soft_speedup
+            )
     if scenario in ("stream", "all"):
         stream_payload = run_stream_bench(
             refs=stream_refs or DEFAULT_STREAM_REFS,
@@ -391,6 +452,10 @@ def _cmd_bench(
     if out != "-":
         write_bench(payload, out)
         print(f"wrote {out}")
+    if guard_problems:
+        for problem in guard_problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -629,12 +694,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_simulate(
                 args.benchmark, args.config, args.scale, args.seed,
                 args.jobs, args.engine, args.cross_validate,
-                args.trace_path,
+                args.trace_path, args.explain_engine,
             )
         if args.command == "bench":
             return _cmd_bench(
                 args.refs, args.repeat, args.out,
                 args.scenario, args.stream_refs, args.chunk_refs,
+                args.min_soft_speedup,
             )
         if args.command == "tags":
             return _cmd_tags(args.benchmark, args.scale)

@@ -137,22 +137,31 @@ class SoftwareAssistedCache:
         self._bus_free_at = 0
         self.last_fetch = []
 
-    def fast_engine_refusal(self) -> Optional[str]:
+    def fast_engine_refusal(self):
         """Why the batch kernels are not equivalent (None = they are).
 
-        The fast engine models a plain write-back LRU cache (plus
-        temporal bookkeeping and the figure-9b replacement rule); any
-        assist structure that can alter hit/miss behaviour or timing
-        disqualifies the configuration.
+        The assisted-path kernels (:mod:`repro.sim.fast_soft`) model
+        the full software-assisted design space — bounce-back cache,
+        virtual lines, temporal bits, temporal-priority replacement —
+        exactly.  Only prefetching remains outside the fast engine:
+        prefetch arrival times couple the bus into hit/miss behaviour,
+        which breaks the kernels' timing decoupling.  The degenerate
+        case of a miss penalty below the pipelined hit time breaks the
+        closed-form wait reconstruction and is also refused.
         """
-        if self._use_bb:
-            return "bounce-back cache in use"
+        from ..sim.engine import EngineRefusal
+
         if self._prefetch_mode != "off":
-            return f"prefetch mode {self._prefetch_mode!r}"
-        if self._vl_lines > 1:
-            return "virtual lines fetch multiple physical lines"
+            return EngineRefusal(
+                "prefetch",
+                f"prefetch mode {self._prefetch_mode!r} couples bus "
+                "arrival times into hit/miss behaviour",
+            )
         if self._latency + self._line_transfer < self._hit_time:
-            return "miss penalty below the pipelined hit time"
+            return EngineRefusal(
+                "degenerate-timing",
+                "miss penalty below the pipelined hit time",
+            )
         return None
 
     def in_main(self, address: int) -> bool:

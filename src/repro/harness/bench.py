@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import platform
+import statistics
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -73,6 +74,7 @@ def run_bench(
     refs: int = DEFAULT_REFS,
     repeat: int = 3,
     configs: Sequence[str] = BENCH_CONFIGS,
+    trace: Optional[Trace] = None,
 ) -> Dict:
     """Measure every (config, supported engine) pair; best of ``repeat``.
 
@@ -80,7 +82,8 @@ def run_bench(
     fast-over-reference speedup summary for configs that support both.
     """
     specs = _bench_specs(configs)
-    trace = bench_trace(refs)
+    if trace is None:
+        trace = bench_trace(refs)
     rows: List[Dict] = []
     speedups: Dict[str, float] = {}
     by_engine: Dict[str, Dict[str, float]] = {}
@@ -90,7 +93,9 @@ def run_bench(
         if fast_refusal(spec.build()) is None:
             engines.append("fast")
         for engine in engines:
-            seconds = min(_time_once(spec, trace, engine) for _ in range(repeat))
+            seconds = _best_of(
+                lambda: _time_once(spec, trace, engine), repeat
+            )
             throughput = refs / seconds
             rows.append(
                 {
@@ -108,19 +113,140 @@ def run_bench(
     return {
         "refs": refs,
         "repeat": repeat,
+        "trace": trace.name,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": rows,
         "fast_speedup": speedups,
+        "refusal_matrix": refusal_matrix(specs),
     }
+
+
+def refusal_matrix(specs: Dict[str, CacheSpec]) -> Dict[str, Optional[str]]:
+    """config name -> structured refusal *code* (None = fast engine
+    runs it).  Keyed by :attr:`~repro.sim.engine.EngineRefusal.code`,
+    never by message text, so wording changes cannot mask a regrowth of
+    the matrix."""
+    out: Dict[str, Optional[str]] = {}
+    for name, spec in specs.items():
+        refusal = fast_refusal(spec.build())
+        out[name] = None if refusal is None else refusal.code
+    return out
+
+
+# ----------------------------------------------------------------------
+# Software-assisted configs: the paper-workload benchmark
+# ----------------------------------------------------------------------
+#: The soft config family measured by bench-soft — every assisted
+#: mechanism combination the fast engine must cover.
+SOFT_BENCH_CONFIGS = (
+    "soft", "victim", "temporal", "spatial"
+)
+
+
+def soft_bench_trace(refs: int = DEFAULT_REFS, seed: int = 20817) -> Trace:
+    """Deterministic blocked-loop trace for the assisted-path bench.
+
+    :func:`bench_trace` draws uniform addresses (~60% miss ratio) —
+    adversarial for an event-driven kernel whose cost scales with
+    misses, and nothing like the paper's loop nests.  This trace models
+    the regime the software-assisted cache targets instead (the §4.2
+    blocked kernels): a hot block of 48 lines carries the temporal tag
+    and takes 19 of every 20 references, while every 20th reference
+    streams through a long spatial-tagged array, touching each 8-byte
+    word twice (the load and the store of an update).  Pure miss ratio
+    is ~1%, with steady bounce-back and virtual-line traffic from the
+    stream/block conflicts.
+    """
+    rng = np.random.default_rng(seed)
+    i = np.arange(refs, dtype=np.int64)
+    is_stream = (i % 20) == 19
+    # Hot block: 48 lines (of 256 sets) of reused data.
+    block_addr = rng.integers(0, 48 * 4, refs, dtype=np.int64) * 8
+    # Spatial stream: an update sweep over a 512 KB array — each word
+    # read then written, one pure miss per 4-word line (halved again by
+    # virtual lines).
+    k = np.cumsum(is_stream) - 1
+    stream_addr = (1 << 20) + ((k >> 1) % (1 << 16)) * 8
+    addresses = np.where(is_stream, stream_addr, block_addr)
+    is_write = np.where(is_stream, (k & 1) == 1, rng.random(refs) < 0.3)
+    return Trace(
+        addresses.astype(np.int64),
+        is_write,
+        ~is_stream,
+        is_stream,
+        rng.integers(0, 4, refs).astype(np.int64),
+        name=f"bench-soft-{refs}",
+    )
+
+
+def run_soft_bench(
+    refs: int = DEFAULT_REFS,
+    repeat: int = 3,
+    configs: Sequence[str] = SOFT_BENCH_CONFIGS,
+) -> Dict:
+    """Measure the assisted-path kernels on the loop-locality workload.
+
+    Same shape as :func:`run_bench` (per-engine rows, ``fast_speedup``,
+    ``refusal_matrix``) but on :func:`soft_bench_trace` and the soft
+    config family.  The refusal matrix here is the one the CI guard
+    watches: every entry must be None — the whole point of the
+    assisted-path kernels is that the soft family never refuses.
+    """
+    trace = soft_bench_trace(refs)
+    payload = run_bench(refs=refs, repeat=repeat, configs=configs,
+                        trace=trace)
+    miss_ratio = {}
+    for name, spec in _bench_specs(configs).items():
+        result = simulate(spec.build(), trace, engine="auto")
+        miss_ratio[name] = round(result.miss_ratio, 4)
+    payload["miss_ratio"] = miss_ratio
+    return payload
+
+
+def soft_bench_guard(payload: Dict, min_speedup: float) -> List[str]:
+    """CI guard over a :func:`run_soft_bench` payload.
+
+    Returns a list of human-readable violations (empty = pass): a soft
+    config whose fast-over-reference speedup fell below ``min_speedup``,
+    a config where the fast engine never ran at all, or a non-``None``
+    entry in the refusal matrix (the matrix regrowing means a config
+    family the kernels used to cover now falls back to the reference
+    loop — a silent 10x+ regression).
+    """
+    problems: List[str] = []
+    for name, code in payload["refusal_matrix"].items():
+        if code is not None:
+            problems.append(
+                f"{name}: fast engine refuses (code={code}); the soft "
+                f"family must never refuse"
+            )
+    for name, speedup in payload["fast_speedup"].items():
+        if speedup < min_speedup:
+            problems.append(
+                f"{name}: fast speedup {speedup}x below the "
+                f"{min_speedup}x floor"
+            )
+    for name in payload["miss_ratio"]:
+        if name not in payload["fast_speedup"]:
+            problems.append(f"{name}: no fast-engine measurement")
+    return problems
 
 
 #: Default streamed-trace length for bench-stream (10M refs — well past
 #: what the paper's traces need, per the ROADMAP's scale goal).
 DEFAULT_STREAM_REFS = 10_000_000
 
-#: Configs measured by bench-stream: one per engine tier.
+#: Configs measured by bench-stream, pinned to an engine tier so the
+#: scenario keeps covering both streaming code paths (the windowed
+#: per-reference loop and the per-chunk batch kernels) now that the
+#: soft family auto-selects the fast engine.  ``soft`` deliberately
+#: stays on the reference tier here: this scenario proves memory
+#: boundedness, not kernel speed (bench-soft covers that), and the
+#: uniform store trace is the event-driven walker's worst case — its
+#: tracemalloc pass alone would take hours at 10M refs.
 STREAM_CONFIGS = ("standard", "soft")
+STREAM_ENGINE_TIERS = {"standard": "fast", "soft": "reference"}
 
 
 def _write_bench_store(refs, chunk_refs, root, seed=12345):
@@ -201,7 +327,14 @@ def run_stream_bench(
         store = _write_bench_store(refs, chunk_refs, f"{root}/trace.store")
         stream = TraceStream.from_store(store)
         for name, spec in specs.items():
-            engine = "fast" if fast_refusal(spec.build()) is None else "reference"
+            engine = STREAM_ENGINE_TIERS.get(name)
+            if engine is None:
+                engine = (
+                    "fast" if fast_refusal(spec.build()) is None
+                    else "reference"
+                )
+            elif engine == "fast" and fast_refusal(spec.build()) is not None:
+                engine = "reference"
 
             def streamed():
                 simulate_stream(spec.build(), stream, engine=engine)
@@ -244,6 +377,22 @@ def _timed(fn) -> float:
     begin = time.perf_counter()
     fn()
     return time.perf_counter() - begin
+
+
+def _best_of(sample, repeat: int) -> float:
+    """Adaptive min-of-N over ``sample()`` timings.
+
+    Short runs (the fast engine finishes 400k refs in tens of
+    milliseconds) need many more samples than long ones for min() to be
+    a stable noise floor — keep sampling cheap rows until ~1s of
+    measurement or 15 samples, whichever comes first.  Long rows stay
+    at ``repeat``.
+    """
+    samples = [sample() for _ in range(repeat)]
+    while (min(samples) < 0.25 and len(samples) < 15
+           and sum(samples) < 1.0):
+        samples.append(sample())
+    return min(samples)
 
 
 # ----------------------------------------------------------------------
@@ -341,10 +490,27 @@ def run_probe_bench(
                     probes=telemetry.build_probes(model),
                 )
 
-            bare_s = min(_timed(bare) for _ in range(repeat))
-            off_s = min(_timed(probes_off) for _ in range(repeat))
-            probed_s = min(_timed(probed) for _ in range(repeat))
-            overhead = off_s / bare_s - 1.0
+            # The overhead ratio compares two timings of near-identical
+            # cost; on shared hardware whose speed drifts over seconds,
+            # independent min-of-N on each side folds that drift into
+            # the ratio.  Instead time bare/off back-to-back each round
+            # (drift within one round is small, so the per-round ratio
+            # cancels it) and take the median ratio over at least five
+            # rounds to shed outliers.
+            bare_samples = [_timed(bare)]
+            off_samples = [_timed(probes_off)]
+            while (len(bare_samples) < max(repeat, 5)
+                   or (min(min(bare_samples), min(off_samples)) < 0.25
+                       and len(bare_samples) < 15
+                       and sum(bare_samples) + sum(off_samples) < 2.0)):
+                bare_samples.append(_timed(bare))
+                off_samples.append(_timed(probes_off))
+            bare_s = min(bare_samples)
+            off_s = min(off_samples)
+            probed_s = _best_of(lambda: _timed(probed), repeat)
+            overhead = statistics.median(
+                o / b for b, o in zip(bare_samples, off_samples)
+            ) - 1.0
             rows.append(
                 {
                     "config": name,
@@ -427,4 +593,32 @@ def format_bench(payload: Dict) -> str:
         )
     for name, speedup in payload["fast_speedup"].items():
         lines.append(f"  {name}: fast engine is {speedup}x reference")
+    return "\n".join(lines)
+
+
+def format_soft_bench(payload: Dict) -> str:
+    """Human-readable rendering of a bench-soft payload."""
+    lines = [
+        f"assisted-path throughput ({payload['refs']} refs, "
+        f"best of {payload['repeat']}, trace={payload['trace']})"
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"  {row['config']:>16} [{row['engine']:>9}]  "
+            f"{row['refs_per_sec'] / 1e6:7.3f} Mrefs/s"
+        )
+    for name, speedup in payload["fast_speedup"].items():
+        miss = payload["miss_ratio"].get(name)
+        lines.append(
+            f"  {name}: fast engine is {speedup}x reference "
+            f"(miss ratio {miss})"
+        )
+    refused = {
+        name: code
+        for name, code in payload["refusal_matrix"].items()
+        if code is not None
+    }
+    lines.append(
+        f"  refusal matrix: {refused if refused else 'empty (all clear)'}"
+    )
     return "\n".join(lines)

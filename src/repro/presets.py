@@ -11,13 +11,12 @@ all consume this registry instead of keeping their own dicts::
     spec = presets.spec("soft", virtual_line_size=128)  # derived spec
 
 Legacy factory-style access (``presets.standard()`` returning a model)
-still works but emits a :class:`DeprecationWarning`; import the factories
-from :mod:`repro.core.presets` — or better, use specs — instead.
+was removed after two release cycles of :class:`DeprecationWarning`;
+build models from specs, or import :mod:`repro.core.presets` directly.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List
 
 from .core import presets as _factories
@@ -70,22 +69,12 @@ def build_config(name: str, **overrides):
     return spec(name, **overrides).build()
 
 
-#: Factory names forwarded (with a warning) to repro.core.presets.
-_LEGACY_FACTORIES = tuple(_factories.__all__)
-
-
 def __getattr__(name: str):
-    if name in _LEGACY_FACTORIES:
-        warnings.warn(
-            f"repro.presets.{name} is a deprecated factory import; build "
-            f"models from specs (repro.presets.SPECS / CacheSpec.of"
-            f"({name!r})) or import repro.core.presets.{name} directly",
-            DeprecationWarning,
-            stacklevel=2,
+    if name in _factories.__all__:
+        raise AttributeError(
+            f"repro.presets.{name} was a deprecated factory import, removed "
+            f"after its warning period; build models from specs (repro."
+            f"presets.SPECS / CacheSpec.of({name!r})) or import repro.core."
+            f"presets.{name} directly"
         )
-        return getattr(_factories, name)
     raise AttributeError(f"module 'repro.presets' has no attribute {name!r}")
-
-
-def __dir__() -> List[str]:
-    return sorted(set(__all__) | set(_LEGACY_FACTORIES))

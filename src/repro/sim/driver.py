@@ -65,7 +65,7 @@ def simulate(
     if warmup_refs < 0:
         raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
     _check_probed_run(probes, reset, warmup_refs)
-    chosen, _ = select_engine(
+    chosen, refusal = select_engine(
         engine, model, reset=reset, warmup_refs=warmup_refs
     )
     if chosen == "fast":
@@ -81,9 +81,11 @@ def simulate(
         # literally the same code path.
         from ..stream import TraceStream
 
-        return _simulate_reference_probed(
+        stats = _simulate_reference_probed(
             model, TraceStream.from_trace(trace), probes
         )
+        stats.engine_refusal = refusal
+        return stats
 
     if reset:
         model.reset()
@@ -116,6 +118,7 @@ def simulate(
     stats = model.stats
     stats.trace = trace.name
     stats.engine = "reference"
+    stats.engine_refusal = refusal
     stats.cycles = total
     if warm_snapshot is not None:
         warm_cycles, counters = warm_snapshot
@@ -149,7 +152,7 @@ def simulate_stream(
     if warmup_refs < 0:
         raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
     _check_probed_run(probes, reset, warmup_refs)
-    chosen, _ = select_engine(
+    chosen, refusal = select_engine(
         engine, model, reset=reset, warmup_refs=warmup_refs
     )
     if chosen == "fast":
@@ -159,7 +162,9 @@ def simulate_stream(
             return simulate_fast_stream(model, stream, probes=probes)
         return simulate_fast_stream(model, stream)
     if probes is not None:
-        return _simulate_reference_probed(model, stream, probes)
+        stats = _simulate_reference_probed(model, stream, probes)
+        stats.engine_refusal = refusal
+        return stats
 
     if reset:
         model.reset()
@@ -191,6 +196,7 @@ def simulate_stream(
     stats = model.stats
     stats.trace = stream.name
     stats.engine = "reference"
+    stats.engine_refusal = refusal
     stats.cycles = total
     if warm_snapshot is not None:
         warm_cycles, counters = warm_snapshot

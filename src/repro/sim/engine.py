@@ -9,18 +9,21 @@ Every simulation names an *engine*:
     The batch kernels of :mod:`repro.sim.fast`.  Exact — counter- and
     state-identical to the reference engine — but only for
     configurations whose equivalence is *provable* from the config
-    alone (write-back LRU, no bounce-back cache, no virtual lines, no
-    prefetching, no warm-up window, cold start).
+    alone: write-back LRU caches, including the paper's full
+    software-assisted family (bounce-back cache, virtual lines,
+    temporal bits), but not prefetching, warm-up windows or warm
+    starts.
 ``auto`` (the default)
     Picks ``fast`` when the model proves equivalent, else silently
     falls back to ``reference``.  The selection is recorded in
     ``SimResult.engine``.
 
-Models opt in by implementing ``fast_engine_refusal() -> Optional[str]``
-— returning ``None`` when the batch kernels apply, or a human-readable
-reason why not.  The check is *conservative by construction*: any model
-without the hook, and any configuration the hook cannot vouch for, runs
-on the reference engine.
+Models opt in by implementing ``fast_engine_refusal() ->
+Optional[EngineRefusal]`` — returning ``None`` when the batch kernels
+apply, or an :class:`EngineRefusal` carrying a stable machine-readable
+``code`` plus a human-readable message.  The check is *conservative by
+construction*: any model without the hook, and any configuration the
+hook cannot vouch for, runs on the reference engine.
 
 ``REPRO_ENGINE`` sets the default engine when the caller passes none
 (mirrors ``REPRO_JOBS``); :func:`cross_validate` runs both engines on
@@ -52,6 +55,49 @@ class EngineMismatchError(ReproError):
     """Cross-validation found fast/reference counters disagreeing."""
 
 
+class EngineRefusal(str):
+    """Why the fast engine cannot run a simulation.
+
+    A ``str`` subclass: legacy call sites that format or match the
+    refusal as free text keep working, while programmatic consumers
+    (the bench refusal matrix, ``--explain-engine``, tests) key on the
+    stable :attr:`code` instead of string matching.  The string value
+    is the human-readable message.
+    """
+
+    __slots__ = ("code",)
+
+    #: Stable machine-readable refusal codes.
+    CODES = (
+        "warm-start",         # continuation from warm cache state
+        "warmup-window",      # warm-up prefix discards counters
+        "no-batch-kernel",    # model type has no fast path at all
+        "prefetch",           # prefetch modes couple bus timing
+        "degenerate-timing",  # miss penalty below the pipelined hit
+        "write-policy",       # non-write-back standard cache
+        "two-level-hierarchy",  # L2 replays L1 fetches per reference
+    )
+
+    def __new__(cls, code: str, message: str) -> "EngineRefusal":
+        if code not in cls.CODES:
+            raise ValueError(f"unknown refusal code {code!r}")
+        obj = str.__new__(cls, message)
+        obj.code = code
+        return obj
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EngineRefusal({self.code!r}, {str(self)!r})"
+
+    def __reduce__(self):
+        # str.__reduce_ex__ cannot rebuild a subclass whose __new__
+        # takes two arguments; sweeps pickle results across processes.
+        return (EngineRefusal, (self.code, str(self)))
+
+
 def resolve_engine(engine: Optional[str] = None) -> str:
     """Resolve the engine knob: explicit argument > ``REPRO_ENGINE`` >
     ``auto``; validates the value."""
@@ -65,7 +111,7 @@ def resolve_engine(engine: Optional[str] = None) -> str:
 
 def fast_refusal(
     model, reset: bool = True, warmup_refs: int = 0
-) -> Optional[str]:
+) -> Optional[EngineRefusal]:
     """Why the fast engine cannot run this simulation (None = it can).
 
     Run-shape conditions (cold start, no warm-up) are checked here; the
@@ -73,12 +119,18 @@ def fast_refusal(
     ``fast_engine_refusal`` hook.
     """
     if not reset:
-        return "continuation from warm cache state"
+        return EngineRefusal(
+            "warm-start", "continuation from warm cache state"
+        )
     if warmup_refs:
-        return "warm-up window discards a counter prefix"
+        return EngineRefusal(
+            "warmup-window", "warm-up window discards a counter prefix"
+        )
     hook = getattr(model, "fast_engine_refusal", None)
     if hook is None:
-        return f"{type(model).__name__} has no batch kernel"
+        return EngineRefusal(
+            "no-batch-kernel", f"{type(model).__name__} has no batch kernel"
+        )
     return hook()
 
 
@@ -87,10 +139,10 @@ def select_engine(
     model,
     reset: bool = True,
     warmup_refs: int = 0,
-) -> Tuple[str, Optional[str]]:
+) -> Tuple[str, Optional[EngineRefusal]]:
     """Resolve the knob against a concrete simulation.
 
-    Returns ``(chosen, refusal_reason)`` where ``chosen`` is
+    Returns ``(chosen, refusal)`` where ``chosen`` is
     ``"fast"`` or ``"reference"``.  ``engine="fast"`` raises
     :class:`~repro.errors.ConfigError` when equivalence cannot be
     proved, rather than silently running a different simulation.

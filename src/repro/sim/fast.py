@@ -335,7 +335,16 @@ def simulate_fast(model, trace: Trace, probes=None) -> SimResult:
     batch, and its final state materialised as if the reference engine
     had run.  With ``probes``, per-reference outcomes are reconstructed
     exactly from the kernel outputs and emitted as one telemetry batch.
+
+    Software-assisted models (bounce-back cache or virtual lines)
+    dispatch to the event-driven walkers of :mod:`repro.sim.fast_soft`;
+    plain write-back LRU configurations use the pure batch kernels
+    below.
     """
+    from .fast_soft import is_assisted, simulate_soft
+
+    if is_assisted(model):
+        return simulate_soft(model, trace, probes=probes)
     model.reset()
     stats = model.stats
     stats.trace = trace.name
@@ -446,7 +455,15 @@ def simulate_fast_stream(model, stream, probes=None) -> SimResult:
       back, so ``start + stall`` of a chunk's last reference, its
       hit/miss outcome and the live write buffer fully seed the next
       chunk's accumulation.
+
+    Software-assisted models dispatch to the chunked walker of
+    :mod:`repro.sim.fast_soft`, which carries the same sufficient
+    statistic plus the live bounce-back buffer.
     """
+    from .fast_soft import is_assisted, simulate_soft_stream
+
+    if is_assisted(model):
+        return simulate_soft_stream(model, stream, probes=probes)
     model.reset()
     stats = model.stats
     stats.trace = stream.name

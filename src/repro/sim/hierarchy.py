@@ -72,7 +72,7 @@ class TwoLevelCache:
         """The L1's record (the driver reads and finalises this)."""
         return self.l1.stats
 
-    def fast_engine_refusal(self) -> str:
+    def fast_engine_refusal(self):
         """The hierarchy always runs on the reference engine.
 
         L2 hits depend on the exact interleaving of L1 fetches, which
@@ -81,7 +81,12 @@ class TwoLevelCache:
         :func:`~repro.sim.driver.simulate_stream` carries the clock
         through the reference loop chunk by chunk).
         """
-        return "two-level hierarchy replays L1 fetches per reference"
+        from .engine import EngineRefusal
+
+        return EngineRefusal(
+            "two-level-hierarchy",
+            "two-level hierarchy replays L1 fetches per reference",
+        )
 
     def reset(self) -> None:
         self.l1.reset()

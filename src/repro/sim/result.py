@@ -11,9 +11,12 @@ and the repartition of hits between main and bounce-back cache
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..memtrace.trace import WORD_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import EngineRefusal
 
 
 @dataclass
@@ -27,6 +30,14 @@ class SimResult:
     #: is excluded from equality; it exists for observability and for
     #: the result-cache fingerprint (fast/reference cells never alias).
     engine: str = field(default="", compare=False)
+    #: When ``engine=auto`` fell back to the reference loop, the
+    #: structured :class:`~repro.sim.engine.EngineRefusal` (stable
+    #: ``.code`` + human message) explaining why; ``None`` when the
+    #: fast engine ran or the caller pinned ``engine="reference"``.
+    #: Observability only — excluded from equality like ``engine``.
+    engine_refusal: Optional["EngineRefusal"] = field(
+        default=None, compare=False
+    )
     refs: int = 0
     cycles: int = 0
     hits_main: int = 0

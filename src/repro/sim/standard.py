@@ -107,12 +107,20 @@ class StandardCache:
             return self._tags[la % self._n_sets] == la
         return any(e[0] == la for e in self._sets[la % self._n_sets])
 
-    def fast_engine_refusal(self) -> Optional[str]:
+    def fast_engine_refusal(self):
         """Why the batch kernels are not equivalent (None = they are)."""
+        from .engine import EngineRefusal
+
         if self.write_policy != "write-back":
-            return f"write policy {self.write_policy!r}"
+            return EngineRefusal(
+                "write-policy",
+                f"write policy {self.write_policy!r} has no batch kernel",
+            )
         if self._penalty < self._hit_time:
-            return "miss penalty below the pipelined hit time"
+            return EngineRefusal(
+                "degenerate-timing",
+                "miss penalty below the pipelined hit time",
+            )
         return None
 
     def access(

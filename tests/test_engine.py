@@ -195,32 +195,52 @@ class TestSelection:
         )
 
     @pytest.mark.parametrize(
-        "build,reason",
+        "build,code",
         [
             (lambda: SoftwareAssistedCache(SoftCacheConfig(
                 size_bytes=1024, line_size=32, ways=1, bounce_back_lines=4,
-                virtual_line_size=None, timing=TIMING)), "bounce-back"),
-            (lambda: SoftwareAssistedCache(SoftCacheConfig(
-                size_bytes=1024, line_size=32, ways=1, bounce_back_lines=0,
-                virtual_line_size=64, timing=TIMING)), "virtual lines"),
+                virtual_line_size=None, prefetch="on-miss",
+                timing=TIMING)), "prefetch"),
             (lambda: SoftwareAssistedCache(SoftCacheConfig(
                 size_bytes=1024, line_size=32, ways=1, bounce_back_lines=4,
-                virtual_line_size=None, prefetch="on-miss",
-                timing=TIMING)), "bounce-back"),
-            (lambda: standard(write_policy="write-through"), "write policy"),
+                virtual_line_size=64, prefetch="software",
+                timing=TIMING)), "prefetch"),
+            (lambda: standard(write_policy="write-through"), "write-policy"),
             (lambda: TwoLevelCache(
                 standard(), CacheGeometry(8192, 32, 2), 12),
-             "two-level hierarchy"),
+             "two-level-hierarchy"),
         ],
     )
-    def test_auto_refuses_unsupported_configs(self, build, reason):
+    def test_auto_refuses_unsupported_configs(self, build, code):
         model = build()
         refusal = fast_refusal(model)
-        assert refusal is not None and reason in refusal
+        assert refusal is not None and refusal.code == code
         chosen, why = select_engine("auto", model)
         assert chosen == "reference" and why == refusal
         with pytest.raises(ConfigError):
             select_engine("fast", model)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(bounce_back_lines=4),
+            dict(virtual_line_size=64),
+            dict(bounce_back_lines=4, virtual_line_size=64),
+            dict(bounce_back_lines=4, bounce_back_ways=2,
+                 use_temporal=True),
+        ],
+    )
+    def test_auto_accepts_assisted_configs(self, overrides):
+        """The whole soft family runs on the batch kernels now —
+        bounce-back, virtual lines and temporal bits no longer refuse
+        (only prefetch still couples timing into behaviour)."""
+        config = dict(size_bytes=1024, line_size=32, ways=1,
+                      bounce_back_lines=0, virtual_line_size=None,
+                      timing=TIMING)
+        config.update(overrides)
+        model = SoftwareAssistedCache(SoftCacheConfig(**config))
+        assert fast_refusal(model) is None
+        assert select_engine("auto", model)[0] == "fast"
 
     def test_auto_refuses_warm_continuations(self):
         model = standard()
@@ -358,10 +378,15 @@ class TestEngineCLI:
         from repro.cli import main
 
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
-        assert main(
-            ["run", "fig6a", "--scale", "tiny", "--engine", "reference"]
-        ) == 0
-        assert os.environ.get("REPRO_ENGINE") == "reference"
+        try:
+            assert main(
+                ["run", "fig6a", "--scale", "tiny", "--engine", "reference"]
+            ) == 0
+            assert os.environ.get("REPRO_ENGINE") == "reference"
+        finally:
+            # main() set the variable itself, so monkeypatch has nothing
+            # to restore — drop it or it leaks into later test modules.
+            os.environ.pop("REPRO_ENGINE", None)
 
     def test_bench_writes_json(self, tmp_path, capsys):
         from repro.cli import main

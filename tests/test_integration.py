@@ -3,7 +3,8 @@ scale (big enough for pollution effects, small enough for CI)."""
 
 import pytest
 
-from repro import presets, simulate
+from repro import simulate
+from repro.core import presets
 from repro.metrics import geometric_mean, miss_reduction
 from repro.workloads import BENCHMARK_ORDER, get_trace, suite_traces
 

@@ -112,9 +112,13 @@ class TestNamedRegistry:
         assert spec("soft").kind == "soft"
         assert isinstance(build_config("soft"), SoftwareAssistedCache)
 
-    def test_legacy_factory_import_warns(self):
-        import repro.presets as shim
+    def test_legacy_factory_import_removed(self):
+        """The deprecated factory-import shim is gone: the old names
+        raise AttributeError pointing at the spec registry instead of
+        silently importing (and masking) the factory module."""
+        import repro.presets as presets
 
-        with pytest.warns(DeprecationWarning):
-            model = shim.standard()
-        assert isinstance(model, SoftwareAssistedCache)
+        with pytest.raises(AttributeError, match="build models from specs"):
+            presets.standard
+        with pytest.raises(AttributeError, match="no attribute"):
+            presets.definitely_not_a_name

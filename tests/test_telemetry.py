@@ -434,6 +434,7 @@ class TestProbeBench:
             ("standard", "reference"),
             ("standard", "fast"),
             ("soft", "reference"),
+            ("soft", "fast"),
         }
         for row in rows:
             assert "within_budget" in row
