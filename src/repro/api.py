@@ -49,6 +49,7 @@ def simulate(
     engine: Optional[str] = None,
     probes=None,
     telemetry=None,
+    pipeline: Optional[int] = None,
 ) -> Union[SimResult, "TelemetryReport"]:
     """Run one simulation, whatever the config and trace delivery.
 
@@ -69,6 +70,12 @@ def simulate(
     recorded on ``result.engine_refusal``.  ``reset=False`` and
     ``warmup_refs`` behave as in the specialised entry points (and are
     incompatible with probed runs, which need the full cold trace).
+
+    ``pipeline`` is a worker count for the multi-process pipelined
+    streaming engine (:mod:`repro.stream.pipeline`; ``0`` or ``"auto"``
+    means one worker per CPU, default ``$REPRO_PIPELINE_WORKERS``).
+    In-memory traces are windowed into a stream first, so every trace
+    delivery can be pipelined; counts <= 1 keep the serial paths.
     """
     from .sim import driver
 
@@ -100,11 +107,16 @@ def simulate(
         return analyze(model, trace, telemetry=spec, engine=engine)
 
     if isinstance(trace, Trace):
-        return driver.simulate(
-            model, trace, reset=reset, warmup_refs=warmup_refs,
-            engine=engine, probes=probes,
-        )
+        if pipeline is not None:
+            from .stream import TraceStream
+
+            trace = TraceStream.from_trace(trace)
+        else:
+            return driver.simulate(
+                model, trace, reset=reset, warmup_refs=warmup_refs,
+                engine=engine, probes=probes,
+            )
     return driver.simulate_stream(
         model, trace, reset=reset, warmup_refs=warmup_refs,
-        engine=engine, probes=probes,
+        engine=engine, probes=probes, workers=pipeline,
     )

@@ -16,6 +16,7 @@ write-backs and the temporal machinery at a stable ~60% miss ratio.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import statistics
 import time
@@ -35,6 +36,21 @@ BENCH_CONFIGS = ("standard", "standard_cache", "soft")
 
 #: Default trace length; long enough that per-call overhead vanishes.
 DEFAULT_REFS = 400_000
+
+#: Annotations for default-battery rows that are easy to misread.  The
+#: top-level ``soft`` row runs the event-driven assisted kernel on this
+#: scenario's *adversarial* uniform trace (~60% miss ratio — the
+#: walker's cost scales with misses), so its speedup is nothing like
+#: the paper-workload assisted-path numbers, which live in the
+#: top-level ``soft`` block (``bench --scenario soft``, blocked-loop
+#: trace, ~1% miss).
+BENCH_NOTES = {
+    "soft": (
+        "event-driven walker on the adversarial uniform trace (~60% "
+        "miss); paper-workload assisted speedups are in the 'soft' "
+        "block, not here"
+    ),
+}
 
 
 def bench_trace(refs: int = DEFAULT_REFS, seed: int = 12345) -> Trace:
@@ -82,6 +98,7 @@ def run_bench(
     fast-over-reference speedup summary for configs that support both.
     """
     specs = _bench_specs(configs)
+    default_trace = trace is None
     if trace is None:
         trace = bench_trace(refs)
     rows: List[Dict] = []
@@ -110,7 +127,7 @@ def run_bench(
         if "fast" in measured:
             speedups[name] = round(measured["fast"] / measured["reference"], 2)
 
-    return {
+    payload = {
         "refs": refs,
         "repeat": repeat,
         "trace": trace.name,
@@ -120,6 +137,16 @@ def run_bench(
         "fast_speedup": speedups,
         "refusal_matrix": refusal_matrix(specs),
     }
+    if default_trace:
+        notes = {
+            name: note for name, note in BENCH_NOTES.items() if name in specs
+        }
+        if notes:
+            payload["notes"] = notes
+            for row in rows:
+                if row["config"] in notes:
+                    row["note"] = notes[row["config"]]
+    return payload
 
 
 def refusal_matrix(specs: Dict[str, CacheSpec]) -> Dict[str, Optional[str]]:
@@ -140,8 +167,14 @@ def refusal_matrix(specs: Dict[str, CacheSpec]) -> Dict[str, Optional[str]]:
 #: The soft config family measured by bench-soft — every assisted
 #: mechanism combination the fast engine must cover.
 SOFT_BENCH_CONFIGS = (
-    "soft", "victim", "temporal", "spatial"
+    "soft", "victim", "temporal", "spatial", "temporal-priority"
 )
+
+#: Set-associative members of the battery.  They run the event-driven
+#: k-way walker (occurrence-scheduled events over cached per-trace
+#: scaffolding) rather than the direct-mapped group-by, so
+#: :func:`soft_bench_guard` accepts a separate floor for them.
+SOFT_ASSOC_CONFIGS = ("temporal-priority",)
 
 
 def soft_bench_trace(refs: int = DEFAULT_REFS, seed: int = 20817) -> Trace:
@@ -204,7 +237,11 @@ def run_soft_bench(
     return payload
 
 
-def soft_bench_guard(payload: Dict, min_speedup: float) -> List[str]:
+def soft_bench_guard(
+    payload: Dict,
+    min_speedup: float,
+    assoc_min_speedup: Optional[float] = None,
+) -> List[str]:
     """CI guard over a :func:`run_soft_bench` payload.
 
     Returns a list of human-readable violations (empty = pass): a soft
@@ -212,7 +249,9 @@ def soft_bench_guard(payload: Dict, min_speedup: float) -> List[str]:
     a config where the fast engine never ran at all, or a non-``None``
     entry in the refusal matrix (the matrix regrowing means a config
     family the kernels used to cover now falls back to the reference
-    loop — a silent 10x+ regression).
+    loop — a silent 10x+ regression).  The set-associative configs
+    (:data:`SOFT_ASSOC_CONFIGS`) are held to ``assoc_min_speedup`` when
+    given, ``min_speedup`` otherwise.
     """
     problems: List[str] = []
     for name, code in payload["refusal_matrix"].items():
@@ -222,10 +261,13 @@ def soft_bench_guard(payload: Dict, min_speedup: float) -> List[str]:
                 f"family must never refuse"
             )
     for name, speedup in payload["fast_speedup"].items():
-        if speedup < min_speedup:
+        floor = min_speedup
+        if name in SOFT_ASSOC_CONFIGS and assoc_min_speedup is not None:
+            floor = assoc_min_speedup
+        if speedup < floor:
             problems.append(
                 f"{name}: fast speedup {speedup}x below the "
-                f"{min_speedup}x floor"
+                f"{floor}x floor"
             )
     for name in payload["miss_ratio"]:
         if name not in payload["fast_speedup"]:
@@ -377,6 +419,147 @@ def _timed(fn) -> float:
     begin = time.perf_counter()
     fn()
     return time.perf_counter() - begin
+
+
+# ----------------------------------------------------------------------
+# Pipelined streaming
+# ----------------------------------------------------------------------
+#: Worker counts measured by bench-pipeline (the ISSUE target is the
+#: 4-worker row; CI guards the conservative 2-worker row).
+PIPELINE_WORKER_COUNTS = (2, 4)
+
+
+def _available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware — a
+    container limited to one core reports one here even when the host
+    has many)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_pipeline_bench(
+    refs: int = DEFAULT_STREAM_REFS,
+    chunk_refs: int = 1 << 18,
+    repeat: int = 2,
+    workers: Sequence[int] = PIPELINE_WORKER_COUNTS,
+    workdir: Optional[str] = None,
+) -> Dict:
+    """Measure the pipelined streaming engine against the serial path.
+
+    Streams the standard config from an on-disk store through
+    :func:`~repro.sim.driver.simulate_stream` serially and with each
+    worker count (best of ``repeat``), recording throughput and the
+    speedup over serial.  The payload records the CPUs available to the
+    process — the speedup a worker count can deliver is capped by the
+    cores backing it, which is what :func:`pipeline_bench_guard` keys
+    on.
+    """
+    import shutil
+    import tempfile
+
+    from ..presets import SPECS
+    from ..sim.driver import simulate_stream
+    from ..stream import TraceStream
+
+    spec = SPECS["standard"]
+    root = tempfile.mkdtemp(prefix="bench-pipeline-", dir=workdir)
+    rows: List[Dict] = []
+    try:
+        store = _write_bench_store(refs, chunk_refs, f"{root}/trace.store")
+        stream = TraceStream.from_store(store)
+
+        serial_s = min(
+            _timed(lambda: simulate_stream(spec.build(), stream))
+            for _ in range(repeat)
+        )
+        for count in workers:
+            seconds = min(
+                _timed(
+                    lambda: simulate_stream(
+                        spec.build(), stream, workers=count
+                    )
+                )
+                for _ in range(repeat)
+            )
+            rows.append(
+                {
+                    "workers": count,
+                    "seconds": round(seconds, 6),
+                    "refs_per_sec": round(refs / seconds),
+                    "speedup": round(serial_s / seconds, 2),
+                }
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "refs": refs,
+        "chunk_refs": chunk_refs,
+        "repeat": repeat,
+        "config": "standard",
+        "cpus": _available_cpus(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "serial_refs_per_sec": round(refs / serial_s),
+        "results": rows,
+    }
+
+
+def pipeline_bench_guard(
+    payload: Dict, min_speedup: float, at_workers: int = 2
+) -> List[str]:
+    """CI guard over a :func:`run_pipeline_bench` payload.
+
+    Enforces ``speedup >= min_speedup`` on the ``at_workers`` row —
+    but only when the process actually had that many CPUs: a pipeline
+    cannot beat serial on one core, so on smaller machines the guard
+    degrades to checking that the pipelined run completed (its
+    bit-identical parity is covered by tests, not this guard).
+    """
+    problems: List[str] = []
+    rows = {row["workers"]: row for row in payload["results"]}
+    row = rows.get(at_workers)
+    if row is None:
+        problems.append(
+            f"pipeline bench has no measurement at {at_workers} workers"
+        )
+        return problems
+    if row["refs_per_sec"] <= 0:
+        problems.append(
+            f"pipeline run at {at_workers} workers recorded no throughput"
+        )
+    cpus = payload.get("cpus", 1)
+    if cpus < at_workers:
+        return problems  # not enough cores to demand a speedup
+    if row["speedup"] < min_speedup:
+        problems.append(
+            f"pipeline speedup at {at_workers} workers is "
+            f"{row['speedup']}x, below the {min_speedup}x floor "
+            f"({cpus} CPUs available)"
+        )
+    return problems
+
+
+def format_pipeline_bench(payload: Dict) -> str:
+    """Human-readable rendering of a bench-pipeline payload."""
+    lines = [
+        f"pipelined streaming ({payload['refs']} refs, chunks of "
+        f"{payload['chunk_refs']}, best of {payload['repeat']}, "
+        f"{payload['cpus']} CPUs)"
+    ]
+    lines.append(
+        f"  serial [{payload['config']}]  "
+        f"{payload['serial_refs_per_sec'] / 1e6:7.3f} Mrefs/s"
+    )
+    for row in payload["results"]:
+        lines.append(
+            f"  {row['workers']} workers          "
+            f"{row['refs_per_sec'] / 1e6:7.3f} Mrefs/s "
+            f"({row['speedup']:.2f}x serial)"
+        )
+    return "\n".join(lines)
 
 
 def _best_of(sample, repeat: int) -> float:

@@ -175,24 +175,37 @@ class ResultCache:
             # A read-only or full cache must never fail the sweep.
             pass
 
+    def _entries(self):
+        """Published cache entries, excluding in-flight ``.tmp-*`` files.
+
+        :meth:`put` stages writes as ``.tmp-*.json`` before the atomic
+        rename; enumerating (and worse, evicting) those would race
+        concurrent writers — a pruned tmp file makes the writer's
+        ``os.replace`` fail and silently drops the entry.  Concurrent
+        *published* entries may still vanish between listing and use;
+        callers tolerate ENOENT per entry.
+        """
+        if not self.root.is_dir():
+            return
+        for entry in self.root.glob("*/*.json"):
+            if not entry.name.startswith("."):
+                yield entry
+
     def clear(self) -> int:
         """Delete every cached cell; returns the number removed."""
         removed = 0
-        if self.root.is_dir():
-            for entry in self.root.glob("*/*.json"):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        for entry in self._entries():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed
 
     def size_bytes(self) -> int:
         """Total bytes held by cached cells."""
-        if not self.root.is_dir():
-            return 0
         total = 0
-        for entry in self.root.glob("*/*.json"):
+        for entry in self._entries():
             try:
                 total += entry.stat().st_size
             except OSError:
@@ -203,21 +216,25 @@ class ResultCache:
         """LRU-evict entries until the cache fits in ``max_bytes``.
 
         Least-recently-*used* entries go first (:meth:`get` refreshes
-        mtimes), so long sweep campaigns keep their hot cells.  Returns
-        ``(entries_removed, bytes_removed)``.
+        mtimes), so long sweep campaigns keep their hot cells.  Safe
+        under concurrent writers: in-flight ``.tmp-*`` stages are never
+        touched, and entries that vanish between listing and eviction
+        (another pruner, or a writer replacing them) are skipped, not
+        errors.  Returns ``(entries_removed, bytes_removed)``.
         """
         if max_bytes < 0:
             raise ConfigError(f"max_bytes must be >= 0: {max_bytes}")
         entries = []
         total = 0
-        if self.root.is_dir():
-            for entry in self.root.glob("*/*.json"):
-                try:
-                    stat = entry.stat()
-                except OSError:
-                    continue
-                entries.append((stat.st_mtime, stat.st_size, entry))
-                total += stat.st_size
+        for entry in self._entries():
+            try:
+                stat = entry.stat()
+            except OSError:
+                # Unlinked (or replaced) by a concurrent process after
+                # the listing — treat as already evicted.
+                continue
+            entries.append((stat.st_mtime, stat.st_size, entry))
+            total += stat.st_size
         entries.sort(key=lambda item: item[0])
         removed = removed_bytes = 0
         for _, size, entry in entries:
@@ -233,9 +250,7 @@ class ResultCache:
         return removed, removed_bytes
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entries())
 
 
 def _open_cache(

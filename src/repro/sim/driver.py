@@ -22,6 +22,7 @@ engine's exact per-reference reconstruction.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Optional
 
 from ..errors import ConfigError
@@ -136,6 +137,7 @@ def simulate_stream(
     warmup_refs: int = 0,
     engine: Optional[str] = None,
     probes=None,
+    workers: Optional[int] = None,
 ) -> SimResult:
     """Run a :class:`~repro.stream.TraceStream` through ``model``.
 
@@ -148,10 +150,45 @@ def simulate_stream(
     buffer and timing state explicitly.  Engine selection, warm-up,
     ``reset`` and ``probes`` semantics match :func:`simulate`; probed
     streams stay O(chunk) (probes hold aggregate state only).
+
+    ``workers`` > 1 runs the multi-process pipelined engine
+    (:mod:`repro.stream.pipeline`): chunk decode and the carry-free
+    kernel scan overlap across a worker pool while the sequential
+    state carry stays here — still bit-identical.  An explicit count
+    is strict (:class:`~repro.errors.ConfigError` when the config
+    cannot be pipelined or ``engine="reference"`` is forced); the
+    ambient ``$REPRO_PIPELINE_WORKERS`` falls back to the serial path
+    silently, mirroring ``engine="auto"``.
     """
     if warmup_refs < 0:
         raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
     _check_probed_run(probes, reset, warmup_refs)
+    if workers is not None or os.environ.get("REPRO_PIPELINE_WORKERS"):
+        from ..stream.pipeline import (
+            pipeline_refusal, resolve_workers, simulate_pipeline,
+        )
+        from .engine import resolve_engine
+
+        n_workers = resolve_workers(workers)
+        if n_workers > 1:
+            reason = pipeline_refusal(
+                model, reset=reset, warmup_refs=warmup_refs
+            )
+            forced_reference = resolve_engine(engine) == "reference"
+            if reason is None and not forced_reference:
+                return simulate_pipeline(
+                    model, stream, n_workers, probes=probes
+                )
+            if workers is not None:
+                detail = (
+                    "engine='reference' forces the serial reference loop"
+                    if reason is None else str(reason)
+                )
+                raise ConfigError(
+                    f"workers={workers!r} needs the pipelined fast "
+                    f"engine, which cannot run {model.name!r}: {detail}"
+                )
+            # Ambient worker count: fall back to the serial path.
     chosen, refusal = select_engine(
         engine, model, reset=reset, warmup_refs=warmup_refs
     )

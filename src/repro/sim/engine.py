@@ -76,6 +76,11 @@ class EngineRefusal(str):
         "degenerate-timing",  # miss penalty below the pipelined hit
         "write-policy",       # non-write-back standard cache
         "two-level-hierarchy",  # L2 replays L1 fetches per reference
+        # Pipelined streaming only (stream/pipeline.py): configs the
+        # fast engine accepts but whose kernels have no carry-free half
+        # to ship to workers.
+        "pipeline-assisted",  # assisted walker is event-sequential
+        "pipeline-assoc",     # per-set LRU loop needs live set state
     )
 
     def __new__(cls, code: str, message: str) -> "EngineRefusal":

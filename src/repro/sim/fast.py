@@ -608,23 +608,75 @@ def simulate_fast_stream(model, stream, probes=None) -> SimResult:
     return stats
 
 
-def _functional_dm_chunk(
+class _DMChunkScan:
+    """Carry-free half of the direct-mapped chunk group-by.
+
+    Everything :func:`_dm_chunk_scan` computes depends only on the chunk
+    itself, never on the residency carried in from earlier chunks — so
+    it can run on a pipeline worker with no ordering constraint.  The
+    carried state perturbs the scan's answer in O(set groups) places
+    only, which :func:`_dm_apply_carry` patches on the sequential
+    critical path:
+
+    * ``hits`` treats every group-first reference as a miss; the carry
+      can only flip it to a hit (when the carried line matches).
+    * ``victim_dirty`` knows nothing about the carried line's eviction
+      (group firsts) and may under-report the dirtiness of the victim
+      at the head of a group's *second* run — the only victim whose
+      previous run is the group's first run, which on a group-first hit
+      continues the carried residency and inherits its dirty bit.
+      ``pos2_glob`` records that position per group (-1 when the group
+      has a single run).
+    * the per-group tail aggregates (``la_last`` &c.) seed the carry
+      update, where a continuation run again inherits carried bits when
+      the group's first run is also its last (``first_is_last``).
+
+    Positions (``gf_glob``, ``pos2_glob``) are in original trace order,
+    matching the scattered ``hits``/``victim_dirty`` arrays.
+    """
+
+    __slots__ = (
+        "hits", "victim_dirty", "gsets", "la_first", "gf_glob",
+        "pos2_glob", "la_last", "last_run_dirty", "last_run_temporal",
+        "first_is_last",
+    )
+
+    def __init__(
+        self, hits, victim_dirty, gsets, la_first, gf_glob, pos2_glob,
+        la_last, last_run_dirty, last_run_temporal, first_is_last,
+    ) -> None:
+        self.hits = hits
+        self.victim_dirty = victim_dirty
+        self.gsets = gsets
+        self.la_first = la_first
+        self.gf_glob = gf_glob
+        self.pos2_glob = pos2_glob
+        self.la_last = la_last
+        self.last_run_dirty = last_run_dirty
+        self.last_run_temporal = last_run_temporal
+        self.first_is_last = first_is_last
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+def _dm_chunk_scan(
     la: np.ndarray,
     sets: np.ndarray,
     is_write: np.ndarray,
     temporal: np.ndarray,
-    tags: np.ndarray,
-    dirty: np.ndarray,
-    temporal_bits: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """One chunk of the direct-mapped group-by, seeded by carried state.
+) -> _DMChunkScan:
+    """Carry-free residency-run analysis of one direct-mapped chunk.
 
-    Same residency-run analysis as :func:`_functional_direct_mapped`,
-    except (a) a run may start at a set-group boundary even on a *hit*
-    (the carried resident line continues its pre-chunk run, whose dirty
-    and temporal bits it inherits), and (b) a group-first miss on an
-    occupied set evicts the carried line.  The carry arrays are updated
-    in place to each touched set's final residency.
+    Same group-by as :func:`_functional_direct_mapped`; set groups open
+    with a provisional miss.  ``run_start = miss | gstart`` is invariant
+    under the carry (a group first starts a run whether the carried line
+    turns it into a hit or not), so run ids — and every within-chunk
+    aggregate over them — are final here.
     """
     n = len(la)
     order = np.argsort(sets, kind="stable")
@@ -637,48 +689,112 @@ def _functional_dm_chunk(
     gstart[1:] = set_s[1:] != set_s[:-1]
     hit_s = np.zeros(n, dtype=bool)
     hit_s[1:] = ~gstart[1:] & (la_s[1:] == la_s[:-1])
-
-    group_first = np.nonzero(gstart)[0]
-    group_sets = set_s[group_first]
-    carried_tag = tags[group_sets]
-    carried_dirty = dirty[group_sets]
-    carried_temporal = temporal_bits[group_sets]
-    first_hits = carried_tag == la_s[group_first]
-    hit_s[group_first] = first_hits
     miss_s = ~hit_s
 
-    # Runs restart at every miss AND at every group boundary, so a
-    # group-first hit opens a fresh run that continues the carried line.
     run_start = miss_s | gstart
     run_id = np.cumsum(run_start) - 1
     n_runs = int(run_id[-1]) + 1
     run_dirty = np.bincount(run_id, weights=w_s, minlength=n_runs) > 0
     run_temporal = np.bincount(run_id, weights=t_s, minlength=n_runs) > 0
-    continuation = group_first[first_hits]
-    run_dirty[run_id[continuation]] |= carried_dirty[first_hits]
-    run_temporal[run_id[continuation]] |= carried_temporal[first_hits]
 
-    # Victims: a non-first miss evicts the previous run's line; a
-    # group-first miss evicts the carried line when the set is occupied.
+    # Victims: a non-first miss evicts the previous run's line.  All of
+    # them reference fully within-chunk runs except the head of a
+    # group's second run (see the class docstring).
     victim_s = miss_s & ~gstart
     victim_dirty_s = np.zeros(n, dtype=bool)
     victim_dirty_s[victim_s] = run_dirty[run_id[victim_s] - 1]
-    first_misses = group_first[~first_hits]
-    victim_dirty_s[first_misses] = (
-        carried_dirty[~first_hits] & (carried_tag[~first_hits] != -1)
-    )
 
-    # Update the carry to each touched set's final residency run.
+    group_first = np.nonzero(gstart)[0]
     group_last = np.append(group_first[1:] - 1, n - 1)
-    tags[group_sets] = la_s[group_last]
-    dirty[group_sets] = run_dirty[run_id[group_last]]
-    temporal_bits[group_sets] = run_temporal[run_id[group_last]]
+    group_end = np.append(group_first[1:], n)
+    heads = np.nonzero(run_start)[0]
+    rid_first = run_id[group_first]
+    has2 = rid_first + 1 < n_runs
+    cand = heads[np.minimum(rid_first + 1, n_runs - 1)]
+    valid2 = has2 & (cand < group_end)
 
     hits = np.empty(n, dtype=bool)
     hits[order] = hit_s
     victim_dirty = np.empty(n, dtype=bool)
     victim_dirty[order] = victim_dirty_s
+
+    return _DMChunkScan(
+        hits=hits,
+        victim_dirty=victim_dirty,
+        gsets=set_s[group_first],
+        la_first=la_s[group_first],
+        gf_glob=order[group_first],
+        pos2_glob=np.where(valid2, order[np.minimum(cand, n - 1)], -1),
+        la_last=la_s[group_last],
+        last_run_dirty=run_dirty[run_id[group_last]],
+        last_run_temporal=run_temporal[run_id[group_last]],
+        first_is_last=rid_first == run_id[group_last],
+    )
+
+
+def _dm_apply_carry(
+    scan: _DMChunkScan,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    temporal_bits: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Patch a carry-free scan with the carried per-set residency.
+
+    O(set groups): flips group-first provisional misses into hits where
+    the carried line matches, charges the carried line's eviction where
+    it does not, propagates the carried dirty bit to the one victim per
+    group it can reach, and advances the carry arrays in place to each
+    touched set's final residency.  ``scan.hits``/``scan.victim_dirty``
+    are corrected in place and returned.
+    """
+    gsets = scan.gsets
+    carried_tag = tags[gsets]
+    carried_dirty = dirty[gsets]
+    carried_temporal = temporal_bits[gsets]
+    first_hits = carried_tag == scan.la_first
+
+    hits = scan.hits
+    victim_dirty = scan.victim_dirty
+    hits[scan.gf_glob[first_hits]] = True
+    first_misses = ~first_hits
+    victim_dirty[scan.gf_glob[first_misses]] = (
+        carried_dirty[first_misses] & (carried_tag[first_misses] != -1)
+    )
+    fix2 = first_hits & carried_dirty & (scan.pos2_glob >= 0)
+    victim_dirty[scan.pos2_glob[fix2]] = True
+
+    continuation = scan.first_is_last & first_hits
+    tags[gsets] = scan.la_last
+    dirty[gsets] = scan.last_run_dirty | (continuation & carried_dirty)
+    temporal_bits[gsets] = (
+        scan.last_run_temporal | (continuation & carried_temporal)
+    )
     return hits, victim_dirty
+
+
+def _functional_dm_chunk(
+    la: np.ndarray,
+    sets: np.ndarray,
+    is_write: np.ndarray,
+    temporal: np.ndarray,
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    temporal_bits: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One chunk of the direct-mapped group-by, seeded by carried state.
+
+    Composed of the carry-free :func:`_dm_chunk_scan` and the O(groups)
+    :func:`_dm_apply_carry` — the exact seam the pipelined streaming
+    engine (:mod:`repro.stream.pipeline`) splits across processes, so
+    the serial path exercises the same two halves.  (a) a run may start
+    at a set-group boundary even on a *hit* (the carried resident line
+    continues its pre-chunk run, whose dirty and temporal bits it
+    inherits), and (b) a group-first miss on an occupied set evicts the
+    carried line.  The carry arrays are updated in place to each touched
+    set's final residency.
+    """
+    scan = _dm_chunk_scan(la, sets, is_write, temporal)
+    return _dm_apply_carry(scan, tags, dirty, temporal_bits)
 
 
 def _functional_assoc_chunk(

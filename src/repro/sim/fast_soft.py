@@ -50,16 +50,21 @@ configurations (:func:`_chunk_arrays`) — the same amortisation
 :meth:`~repro.memtrace.trace.Trace.columns_list` gives the reference
 loop when a sweep runs many models over one trace.
 
-Set-associative assisted geometries use a stripped sequential kernel
-instead (MRU reordering makes per-reference effects order-dependent):
-the same live structures and timing recurrence, but visiting every
-reference.  Exact as well, with a smaller constant-factor win.
+Set-associative assisted geometries are event-driven too, via a
+different (and simpler) prediction rule: every reference leaves its
+line resident at MRU and pure hits never evict, so any repeat
+occurrence of a line is a provable hit unless a live event removed the
+line in between — and every removal site schedules the line's next
+occurrence as a dynamic event.  Lazy per-set synchronisation replays
+MRU moves and dirty/temporal bits from line-grouped occurrence indices
+at O(ways log n) per event (:func:`_assoc_chunk_arrays`,
+:class:`_AssocWalker`).
 """
 
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import List, Optional
 
 import numpy as np
@@ -206,6 +211,66 @@ def _chunk_arrays(chunk, line_shift: int, n_sets: int, H: int):
     return data
 
 
+_ASSOC_CACHE_ATTR = "_soft_assoc_kernel_cache"
+
+
+def _assoc_chunk_arrays(chunk, line_shift: int, H: int):
+    """Occurrence-index scaffolding of the set-associative event walk,
+    cached on the chunk.
+
+    Unlike the direct-mapped scaffolding this is keyed by *line*, not by
+    set: the k-way kernel predicts hits from line occurrence structure
+    (every reference leaves its line resident, so any repeat occurrence
+    is a hit unless a live event removed the line in between — and
+    removals schedule the next occurrence as a dynamic event).  Grouping
+    the stable argsort by line value gives, per line, its chunk
+    occurrence positions in ascending order plus write/temporal prefix
+    sums over the same ordering, which is everything the lazy per-set
+    MRU/bit synchronisation needs at O(ways log n) per event.
+    """
+    key = (line_shift, H)
+    cached = getattr(chunk, _ASSOC_CACHE_ATTR, None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    n = len(chunk)
+    la_np = chunk.addresses >> line_shift
+    order2 = np.argsort(la_np, kind="stable")
+    la2 = la_np[order2]
+    gstart = np.ones(n, dtype=bool)
+    if n:
+        gstart[1:] = la2[1:] != la2[:-1]
+    starts = np.nonzero(gstart)[0].tolist()
+    bounds = starts + [n]
+    occ = order2.tolist()
+    la2_l = la2.tolist()
+    line_slice = {}
+    for gi, lo in enumerate(starts):
+        line_slice[la2_l[lo]] = (lo, bounds[gi + 1])
+    pw2 = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(chunk.is_write[order2], out=pw2[1:])
+    pt2 = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(chunk.temporal[order2], out=pt2[1:])
+    g64 = chunk.gaps
+    mg = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.maximum(g64, H), out=mg[1:])
+    wp = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.maximum(H - g64, 0), out=wp[1:])
+    data = (
+        la_np.tolist(),   # 0: line addresses, global order
+        occ,              # 1: global positions grouped by line, ascending
+        line_slice,       # 2: line -> (lo, hi) slice into occ
+        pw2.tolist(),     # 3: prefix of writes over occ order
+        pt2.tolist(),     # 4: prefix of temporal bits over occ order
+        mg.tolist(),      # 5: prefix of max(gap, H)
+        wp.tolist(),      # 6: prefix of max(H - gap, 0)
+    )
+    try:
+        setattr(chunk, _ASSOC_CACHE_ATTR, (key, data))
+    except AttributeError:
+        pass
+    return data
+
+
 class _WalkerBase:
     """State and machinery shared by both assisted-path kernels: live
     bounce-back buffer and write buffer (at exact absolute times), the
@@ -264,6 +329,72 @@ class _WalkerBase:
             self.wb_stalls += stall
             return stall
         return 0
+
+    def _finish_chunk(self, k: int, n: int, g_col) -> None:
+        """Fold the trailing hits after the chunk's last event and leave
+        the carry pointing past the chunk's final reference."""
+        H = self.H
+        n_inter = n - k - 1
+        if n_inter == 0:
+            return
+        mg = self._mg
+        wp = self._wp
+        g1 = g_col[k + 1]
+        if self.fresh:
+            self.fresh = False
+            wait_sum = wp[n] - wp[k + 2]
+            start_last = g1 + (mg[n] - mg[k + 2])
+        else:
+            w1 = self.lock + H - g1
+            if w1 < 0:
+                w1 = 0
+            gh = g1 - H
+            wait_sum = w1 + (wp[n] - wp[k + 2])
+            start_last = (
+                self.base + (gh if gh > self.lock else self.lock)
+                + (mg[n] - mg[k + 2])
+            )
+        self.cycles += wait_sum + n_inter * H
+        self.hits_main += n_inter
+        self.base = start_last + H
+        self.lock = 0
+        self.last_fetch = []
+
+    # -- telemetry reconstruction --------------------------------------
+    def _telemetry(
+        self, n, g64, lock0, fresh0, chunk_cycles,
+        ev_pos, ev_cyc, ev_kind, ev_words, ev_stall,
+    ):
+        H = self.H
+        cyc = np.maximum(H - g64, 0) + H
+        if fresh0:
+            cyc[0] = H
+        elif lock0 > 0:
+            cyc[0] = max(0, lock0 + H - int(g64[0])) + H
+        pos = np.array(ev_pos, dtype=np.int64)
+        kind = np.array(ev_kind, dtype=np.int64)
+        # A reference following an assist hit waits out the swap lock.
+        after = pos[kind == 1] + 1
+        after = after[after < n]
+        if len(after):
+            cyc[after] = (
+                np.maximum(self.SL + H - g64[after], 0) + H
+            )
+        miss_col = np.zeros(n, dtype=bool)
+        assist_col = np.zeros(n, dtype=bool)
+        words_col = np.zeros(n, dtype=np.int64)
+        stall_col = np.zeros(n, dtype=np.int64)
+        if len(pos):
+            cyc[pos] = np.array(ev_cyc, dtype=np.int64)
+            miss_col[pos[kind == 2]] = True
+            assist_col[pos[kind == 1]] = True
+            words_col[pos] = np.array(ev_words, dtype=np.int64)
+            stall_col[pos] = np.array(ev_stall, dtype=np.int64)
+        assert int(cyc.sum()) == chunk_cycles, (
+            "per-reference cycle reconstruction disagrees with the "
+            "assisted-path walk"
+        )
+        return miss_col, assist_col, cyc, words_col, stall_col
 
     def _finalise_common(self) -> SimResult:
         model = self.model
@@ -860,72 +991,6 @@ class _DirectWalker(_WalkerBase):
             ev_pos, ev_cyc, ev_kind, ev_words, ev_stall,
         )
 
-    def _finish_chunk(self, k: int, n: int, g_col) -> None:
-        """Fold the trailing hits after the chunk's last event and leave
-        the carry pointing past the chunk's final reference."""
-        H = self.H
-        n_inter = n - k - 1
-        if n_inter == 0:
-            return
-        mg = self._mg
-        wp = self._wp
-        g1 = g_col[k + 1]
-        if self.fresh:
-            self.fresh = False
-            wait_sum = wp[n] - wp[k + 2]
-            start_last = g1 + (mg[n] - mg[k + 2])
-        else:
-            w1 = self.lock + H - g1
-            if w1 < 0:
-                w1 = 0
-            gh = g1 - H
-            wait_sum = w1 + (wp[n] - wp[k + 2])
-            start_last = (
-                self.base + (gh if gh > self.lock else self.lock)
-                + (mg[n] - mg[k + 2])
-            )
-        self.cycles += wait_sum + n_inter * H
-        self.hits_main += n_inter
-        self.base = start_last + H
-        self.lock = 0
-        self.last_fetch = []
-
-    # -- telemetry reconstruction ----------------------------------------
-    def _telemetry(
-        self, n, g64, lock0, fresh0, chunk_cycles,
-        ev_pos, ev_cyc, ev_kind, ev_words, ev_stall,
-    ):
-        H = self.H
-        cyc = np.maximum(H - g64, 0) + H
-        if fresh0:
-            cyc[0] = H
-        elif lock0 > 0:
-            cyc[0] = max(0, lock0 + H - int(g64[0])) + H
-        pos = np.array(ev_pos, dtype=np.int64)
-        kind = np.array(ev_kind, dtype=np.int64)
-        # A reference following an assist hit waits out the swap lock.
-        after = pos[kind == 1] + 1
-        after = after[after < n]
-        if len(after):
-            cyc[after] = (
-                np.maximum(self.SL + H - g64[after], 0) + H
-            )
-        miss_col = np.zeros(n, dtype=bool)
-        assist_col = np.zeros(n, dtype=bool)
-        words_col = np.zeros(n, dtype=np.int64)
-        stall_col = np.zeros(n, dtype=np.int64)
-        if len(pos):
-            cyc[pos] = np.array(ev_cyc, dtype=np.int64)
-            miss_col[pos[kind == 2]] = True
-            assist_col[pos[kind == 1]] = True
-            words_col[pos] = np.array(ev_words, dtype=np.int64)
-            stall_col[pos] = np.array(ev_stall, dtype=np.int64)
-        assert int(cyc.sum()) == chunk_cycles, (
-            "per-reference cycle reconstruction disagrees with the "
-            "assisted-path walk"
-        )
-        return miss_col, assist_col, cyc, words_col, stall_col
-
     # -- end of run -------------------------------------------------------
     def finalise(self) -> SimResult:
         stats = self._finalise_common()
@@ -937,12 +1002,30 @@ class _DirectWalker(_WalkerBase):
 
 
 class _AssocWalker(_WalkerBase):
-    """Sequential assisted-path kernel for ``ways > 1`` geometries.
+    """Event-driven assisted-path kernel for ``ways > 1`` geometries.
 
-    MRU reordering makes every reference's effect order-dependent, so
-    the kernel visits each one — but with local state, no per-access
-    attribute traffic, and the closed-form timing recurrence instead of
-    the driver's clock replay.
+    The k-way generalisation rests on one invariant of the reference
+    model: *every reference leaves its line resident at MRU*, and lines
+    only ever leave a set at an explicitly processed event (miss-path
+    eviction, assist-swap eviction, virtual-line invalidation, or a
+    bounce-back displacing an occupant).  Pure hits never evict.  So a
+    reference is a provable hit whenever an earlier occurrence of its
+    line exists in the chunk, or its line is resident in the carried
+    state — no LRU stack-distance reasoning required.  The candidate
+    events are exactly the first occurrences of lines absent from the
+    carried main state; whenever a live event removes a line from main,
+    its next chunk occurrence is scheduled as a dynamic event and
+    re-checked live (a bounce-back may have reinstalled it — the live
+    membership check self-heals, as in the direct-mapped walker).
+
+    MRU order and per-entry dirty/temporal bits are synchronised lazily:
+    per set, ``last_sync`` remembers the last event position, and at the
+    next event each resident entry binary-searches its line's occurrence
+    slice for the hits in between — their last position gives the
+    move-to-front order, their write/temporal prefix-sum deltas the bit
+    ORs.  Residency cannot change inside a sync window (that would take
+    an event on the set, which would have synced it), so the per-entry
+    lookup is complete and exact.
     """
 
     def __init__(self, model) -> None:
@@ -960,6 +1043,67 @@ class _AssocWalker(_WalkerBase):
                     return k
         return len(entries) - 1
 
+    # -- lazy per-set sync and dynamic scheduling ----------------------
+    def _sync_set(self, s: int, i: int) -> None:
+        """Apply MRU moves and dirty/temporal bits of set ``s``'s pure
+        hits before global position ``i``."""
+        ls = self._last_sync[s]
+        if ls >= i:
+            return
+        entries = self.sets_state[s]
+        if entries:
+            occ = self._occ
+            slices = self._line_slice
+            pw2 = self._pw2
+            pt2 = self._pt2
+            touched = None
+            for entry in entries:
+                span = slices.get(entry[0])
+                if span is None:
+                    continue
+                lo, hi = span
+                j1 = bisect_right(occ, ls, lo, hi)
+                if j1 >= hi or occ[j1] >= i:
+                    continue
+                j2 = bisect_left(occ, i, j1, hi)
+                if pw2[j2] > pw2[j1]:
+                    entry[1] = True
+                if pt2[j2] > pt2[j1]:
+                    entry[2] = True
+                if touched is None:
+                    touched = []
+                touched.append((occ[j2 - 1], entry))
+            if touched is not None:
+                # Each hit moves its entry to MRU, so the final order is
+                # touched entries by last hit (most recent first), then
+                # the untouched ones in their previous relative order.
+                touched.sort(key=lambda item: item[0], reverse=True)
+                hot = [entry for _, entry in touched]
+                if len(hot) < len(entries):
+                    hot_ids = {id(entry) for entry in hot}
+                    hot.extend(
+                        entry for entry in entries
+                        if id(entry) not in hot_ids
+                    )
+                entries[:] = hot
+        self._last_sync[s] = i
+
+    def _on_removed(self, line: int, i: int) -> None:
+        """``line`` left the main cache at event position ``i``: its
+        next predicted occurrence can no longer be assumed a hit, so
+        re-evaluate it live."""
+        span = self._line_slice.get(line)
+        if span is None:
+            return
+        lo, hi = span
+        q_idx = bisect_right(self._occ, i, lo, hi)
+        if q_idx < hi:
+            q = self._occ[q_idx]
+            if not self._scheduled[q]:
+                self._scheduled[q] = True
+                heapq.heappush(self._dyn, q)
+
+    # -- bounce-back machinery (mirrors the reference model) -----------
     def _bounce_evicted(self, entry, start, blocked) -> int:
         if not (self.use_temporal and entry[2]):
             return self._discard(entry[1], start)
@@ -967,6 +1111,7 @@ class _AssocWalker(_WalkerBase):
         if target in blocked:
             self.bounce_aborts += 1
             return self._discard(entry[1], start)
+        self._sync_set(target, self._pos)
         entries = self.sets_state[target]
         stall = 0
         if len(entries) >= self.ways:
@@ -976,6 +1121,7 @@ class _AssocWalker(_WalkerBase):
                 self.bounce_aborts += 1
                 return self._discard(entry[1], start)
             del entries[occupant_index]
+            self._on_removed(occupant[0], self._pos)
             stall = self._discard(occupant[1], start)
         entries.insert(
             0, [entry[0], entry[1], entry[2] and not self.reset_on_bounce]
@@ -995,50 +1141,131 @@ class _AssocWalker(_WalkerBase):
             return 0
         return self._bounce_evicted(evicted, start, blocked)
 
+    # -- the chunk driver ----------------------------------------------
     def run_chunk(self, chunk, want_probes: bool):
         n = len(chunk)
         n_sets = self.n_sets
         H = self.H
-        la_l = (chunk.addresses >> self.line_shift).tolist()
+        data = _assoc_chunk_arrays(chunk, self.line_shift, H)
+        la_l, occ, line_slice, pw2, pt2, mg, wp = data
         _, w_col, t_col, sp_col, g_col = chunk.columns_list()
         sets_state = self.sets_state
+
+        # Candidates: first occurrences of lines not resident in the
+        # carried main state (a line in the carried bounce-back buffer
+        # is never also in main, so those firsts are candidates too and
+        # resolve to assist hits live).
+        resident = set()
+        for entries in sets_state:
+            for entry in entries:
+                resident.add(entry[0])
+        scheduled = bytearray(n)
+        cand: List[int] = []
+        for line, (lo, _hi) in line_slice.items():
+            if line not in resident:
+                p0 = occ[lo]
+                cand.append(p0)
+                scheduled[p0] = True
+        cand.sort()
+
+        # Shared with the helper methods (sync / schedule / bounce).
+        self._occ = occ
+        self._line_slice = line_slice
+        self._pw2 = pw2
+        self._pt2 = pt2
+        self._mg = mg
+        self._wp = wp
+        self._scheduled = scheduled
+        dyn: List[int] = []
+        self._dyn = dyn
+        last_sync = [-1] * n_sets
+        self._last_sync = last_sync
+
+        # Telemetry capture (chunk-local).
+        lock0, fresh0 = self.lock, self.fresh
+        cycles0 = self.cycles
+        ev_pos: List[int] = []
+        ev_cyc: List[int] = []
+        ev_kind: List[int] = []  # 0 = hit, 1 = assist, 2 = miss
+        ev_words: List[int] = []
+        ev_stall: List[int] = []
+
         bb_lookup = self.bb.lookup_remove
         bb_find = self.bb.find
         use_bb = self.use_bb
         vl = self.vl
-
-        if want_probes:
-            miss_col = np.zeros(n, dtype=bool)
-            assist_col = np.zeros(n, dtype=bool)
-            cycles_col = np.zeros(n, dtype=np.int64)
-            words_col = np.zeros(n, dtype=np.int64)
-            stall_col = np.zeros(n, dtype=np.int64)
-
+        A = self.A
+        SL = self.SL
+        ways = self.ways
+        heappop = heapq.heappop
         base = self.base
         lock = self.lock
         fresh = self.fresh
         cycles = 0
         hits_main = 0
-        for i in range(n):
-            g = g_col[i]
-            if fresh:
-                wait = 0
-                start = g
-                fresh = False
+        lf = self.last_fetch
+        prev_k = -1  # chunk-local position of the last processed event
+        ci = 0
+        ncand = len(cand)
+        while ci < ncand or dyn:
+            if dyn and (ci >= ncand or dyn[0] < cand[ci]):
+                i = heappop(dyn)
             else:
-                wait = lock + H - g
+                i = cand[ci]
+                ci += 1
+
+            # Fold the intermediate hits in (prev_k, i) — the closed-form
+            # timing recurrence — and compute the event's (start, wait).
+            n_inter = i - prev_k - 1
+            if n_inter == 0:
+                g = g_col[i]
+                if fresh:
+                    fresh = False
+                    start = g
+                    wait = 0
+                else:
+                    wait = lock + H - g
+                    if wait < 0:
+                        wait = 0
+                    gh = g - H
+                    start = base + (gh if gh > lock else lock)
+            else:
+                g1 = g_col[prev_k + 1]
+                if fresh:
+                    fresh = False
+                    wait_sum = wp[i] - wp[prev_k + 2]
+                    start = g1 + (mg[i + 1] - mg[prev_k + 2])
+                else:
+                    w1 = lock + H - g1
+                    if w1 < 0:
+                        w1 = 0
+                    gh = g1 - H
+                    wait_sum = w1 + (wp[i] - wp[prev_k + 2])
+                    start = (
+                        base + (gh if gh > lock else lock)
+                        + (mg[i + 1] - mg[prev_k + 2])
+                    )
+                cycles += wait_sum + n_inter * H
+                hits_main += n_inter
+                lf = []
+                wait = H - g_col[i]
                 if wait < 0:
                     wait = 0
-                gh = g - H
-                start = base + (gh if gh > lock else lock)
+            prev_k = i
+
+            self._pos = i
             la = la_l[i]
             w = w_col[i]
             t = t_col[i]
-            entries = sets_state[la % n_sets]
+            s0 = la % n_sets
+            self._sync_set(s0, i)
+            entries = sets_state[s0]
 
             hit = False
             for position, entry in enumerate(entries):
                 if entry[0] == la:
+                    # Live hit at a scheduled position (a bounce-back
+                    # reinstalled the line): a plain main-cache hit.
                     if position:
                         del entries[position]
                         entries.insert(0, entry)
@@ -1050,17 +1277,21 @@ class _AssocWalker(_WalkerBase):
                     break
             if hit:
                 hits_main += 1
-                self.last_fetch = []
-                e = H
+                lf = []
+                cycles += wait + H
+                base = start + H
                 lock = 0
-                cycles += wait + e
-                base = start + e
                 if want_probes:
-                    cycles_col[i] = wait + e
+                    ev_pos.append(i)
+                    ev_cyc.append(wait + H)
+                    ev_kind.append(0)
+                    ev_words.append(0)
+                    ev_stall.append(0)
                 continue
 
             found = bb_lookup(la) if use_bb else None
             if found is not None:
+                # Bounce-back hit: swap with a victim of the full set.
                 self.hits_assist += 1
                 self.swaps += 1
                 if w:
@@ -1068,25 +1299,28 @@ class _AssocWalker(_WalkerBase):
                 if t:
                     found[2] = True
                 stall = 0
-                if len(entries) >= self.ways:
+                if len(entries) >= ways:
                     victim = entries.pop(self._victim_index(entries))
+                    self._on_removed(victim[0], i)
                     evicted = self.bb.insert(
                         [victim[0], victim[1], victim[2], False, 0]
                     )
                     if evicted is not None:
                         stall = self._bounce_evicted(
-                            evicted, start, (la % n_sets,)
+                            evicted, start, (s0,)
                         )
                 entries.insert(0, [la, found[1], found[2]])
-                self.last_fetch = []
-                e = stall + self.A
-                lock = self.SL
+                lf = []
+                e = stall + A
                 cycles += wait + e
                 base = start + e
+                lock = SL
                 if want_probes:
-                    assist_col[i] = True
-                    cycles_col[i] = wait + e
-                    stall_col[i] = stall
+                    ev_pos.append(i)
+                    ev_cyc.append(wait + e)
+                    ev_kind.append(1)
+                    ev_words.append(0)
+                    ev_stall.append(stall)
                 continue
 
             self.misses += 1
@@ -1097,6 +1331,8 @@ class _AssocWalker(_WalkerBase):
                     if line == la:
                         to_fetch.append(line)
                         continue
+                    # Membership is event-only state — pending pure hits
+                    # never change it — so no sync is needed to probe it.
                     line_set = sets_state[line % n_sets]
                     if any(e_[0] == line for e_ in line_set):
                         continue
@@ -1108,48 +1344,66 @@ class _AssocWalker(_WalkerBase):
             self.bus_free_at = start + penalty
             self.lines_fetched += nf
             self.words_fetched += nf * self.wpl
-            self.last_fetch = list(to_fetch)
+            lf = list(to_fetch)
+            words = nf * self.wpl
             blocked = {line % n_sets for line in to_fetch}
             stall = 0
             for line in to_fetch:
-                line_set = sets_state[line % n_sets]
+                li = line % n_sets
+                self._sync_set(li, i)
+                line_set = sets_state[li]
                 if use_bb and bb_find(line) is not None:
+                    # The buffer's copy is the live one: the fetched
+                    # slot is tagged invalid, costing the would-be
+                    # victim its place.
                     self.invalidations += 1
-                    if len(line_set) >= self.ways:
+                    if len(line_set) >= ways:
                         victim = line_set.pop(self._victim_index(line_set))
+                        self._on_removed(victim[0], i)
                         stall += self._victim_to_bb(victim, start, blocked)
                     continue
                 victim = None
-                if len(line_set) >= self.ways:
+                if len(line_set) >= ways:
                     victim = line_set.pop(self._victim_index(line_set))
+                    self._on_removed(victim[0], i)
                 line_set.insert(
                     0, [line, w and line == la, t and line == la]
                 )
                 if victim is not None:
                     stall += self._victim_to_bb(victim, start, blocked)
             e = stall + penalty
-            lock = 0
             cycles += wait + e
             base = start + e
+            lock = 0
             if want_probes:
-                miss_col[i] = True
-                cycles_col[i] = wait + e
-                words_col[i] = nf * self.wpl
-                stall_col[i] = stall
+                ev_pos.append(i)
+                ev_cyc.append(wait + e)
+                ev_kind.append(2)
+                ev_words.append(words)
+                ev_stall.append(stall)
 
+        # Flush pending syncs: MRU order and dirty/temporal bits of the
+        # trailing pure hits must survive into the next chunk and the
+        # final materialised state.
         self.base = base
         self.lock = lock
         self.fresh = fresh
+        for s in range(n_sets):
+            if sets_state[s] and last_sync[s] < n:
+                self._sync_set(s, n)
+
         self.cycles += cycles
         self.hits_main += hits_main
+        self.last_fetch = lf
+        self._finish_chunk(prev_k, n, g_col)
         self.refs += n
+
         if not want_probes:
             return None
-        assert int(cycles_col.sum()) == cycles, (
-            "per-reference cycle reconstruction disagrees with the "
-            "assisted-path walk"
+        return self._telemetry(
+            n, chunk.gaps, lock0, fresh0, self.cycles - cycles0,
+            ev_pos, ev_cyc, ev_kind, ev_words, ev_stall,
         )
-        return miss_col, assist_col, cycles_col, words_col, stall_col
 
     def finalise(self) -> SimResult:
         stats = self._finalise_common()

@@ -37,12 +37,50 @@ from typing import Iterator, Optional, Union
 from ..errors import TraceError
 from ..memtrace.store import DEFAULT_CHUNK_REFS, TraceStore, is_store
 from ..memtrace.trace import Trace
+from .pipeline import (
+    MAX_PIPELINE_WORKERS,
+    PipelineError,
+    resolve_workers,
+    simulate_pipeline,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_REFS",
+    "MAX_PIPELINE_WORKERS",
+    "MAX_READAHEAD",
+    "PipelineError",
     "TraceStream",
     "open_trace",
+    "resolve_readahead",
+    "resolve_workers",
+    "simulate_pipeline",
 ]
+
+#: Hard ceiling on the read-ahead queue depth.  Each buffered chunk
+#: costs O(chunk_refs) memory, so an accidental ``REPRO_READAHEAD=1e9``
+#: must not turn the bounded-memory path into an unbounded one.
+MAX_READAHEAD = 64
+
+
+def resolve_readahead(prefetch: Optional[int] = None) -> int:
+    """Resolve the read-ahead depth: explicit > ``REPRO_READAHEAD`` > 1.
+
+    ``0`` disables the read-ahead thread entirely; values are clamped to
+    :data:`MAX_READAHEAD` so the queue stays bounded.
+    """
+    if prefetch is None:
+        raw = os.environ.get("REPRO_READAHEAD", "").strip()
+        if not raw:
+            return 1
+        try:
+            prefetch = int(raw)
+        except ValueError:
+            raise TraceError(
+                f"REPRO_READAHEAD must be an integer >= 0: {raw!r}"
+            ) from None
+    if prefetch < 0:
+        raise TraceError(f"read-ahead depth must be >= 0: {prefetch}")
+    return min(prefetch, MAX_READAHEAD)
 
 
 class TraceStream:
@@ -160,15 +198,32 @@ class TraceStream:
             ref_ids=None if trace.ref_ids is None else trace.ref_ids[lo:hi],
         )
 
+    def chunk(self, index: int, verify: bool = True) -> Trace:
+        """Random access to one chunk window (store- or trace-backed).
+
+        The pipelined streaming engine uses this to hand workers chunk
+        *indices* instead of chunk data; each worker pages its own chunk
+        in.  Equivalent to the ``index``-th item of :meth:`chunks`.
+        """
+        if not 0 <= index < self.n_chunks:
+            raise TraceError(
+                f"chunk index out of range: {index} (of {self.n_chunks})"
+            )
+        if self._store is None:
+            return self._window(index)
+        return self._store.chunk(index, verify=verify)
+
     def chunks(
-        self, verify: bool = True, prefetch: int = 1
+        self, verify: bool = True, prefetch: Optional[int] = None
     ) -> Iterator[Trace]:
         """Yield the trace as in-memory chunk windows, in order.
 
         For store-backed streams ``prefetch`` chunks are decoded on a
         read-ahead thread while the caller consumes the current one
         (decompression releases the GIL), hiding I/O under simulation
-        time; memory stays O(1 + prefetch) chunks.  ``verify`` checks
+        time; memory stays O(1 + prefetch) chunks.  The queue is always
+        bounded: ``prefetch`` defaults to ``$REPRO_READAHEAD`` (or 1)
+        and is clamped to :data:`MAX_READAHEAD`.  ``verify`` checks
         every chunk against its manifest fingerprint.
         """
         if self._store is None:
@@ -177,6 +232,7 @@ class TraceStream:
             return
         store = self._store
         n = store.n_chunks
+        prefetch = resolve_readahead(prefetch)
         if prefetch <= 0 or n <= 1:
             yield from store.chunks(verify=verify)
             return

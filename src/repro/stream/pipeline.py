@@ -1,0 +1,505 @@
+"""Pipelined multi-process streaming engine.
+
+The serial streamed fast path (:func:`repro.sim.fast
+.simulate_fast_stream`) runs chunk read → decode → sort/scan → carry →
+timing in one process.  Only the *carry* steps are inherently
+sequential: the functional carry (per-set residency) and the timing
+carry (write buffer, clock) each need the previous chunk's outcome.
+Everything upstream of them is per-chunk pure — and that is where the
+time goes (store read, fingerprint verify, zlib decode, the stable
+argsort and the group-by scan).
+
+This module splits the direct-mapped kernel at exactly that seam
+(:func:`repro.sim.fast._dm_chunk_scan` / ``_dm_apply_carry`` — the
+serial path composes the same two halves, so every existing parity test
+exercises the split):
+
+.. code-block:: text
+
+    task queue (chunk indices, bounded)
+        │
+        ├── worker 0 ─┐  read → verify → decode → argsort → scan
+        ├── worker 1 ─┤  (carry-free; no ordering constraint)
+        └── worker N ─┘
+        │
+    result queue + shared-memory slabs (bounded ⇒ backpressure)
+        │
+    main process, chunks reassembled in trace order:
+        apply carry → chunk timing → counters / telemetry
+        (the sequential critical path)
+
+Workers receive chunk *indices*, never chunk data: the stream is
+picklable (store-backed workers page their own chunks in; trace-backed
+streams ride fork's copy-on-write).  Results travel through a pool of
+main-owned :class:`~multiprocessing.shared_memory.SharedMemory` slabs —
+a worker blocks for a free slab, which, together with the bounded
+queues, caps in-flight chunks at O(workers) regardless of how far the
+pool runs ahead.  Payloads that outgrow their slab (or platforms
+without shared memory) fall back to plain queue pickling.
+
+Reassembly is strictly in chunk order, and the main process applies the
+identical carry/timing code the serial path uses — so counters, final
+model state and per-reference telemetry are bit-identical to the serial
+engines for every accepted config.  :func:`pipeline_refusal` mirrors
+``fast_refusal``: configurations whose kernels have no carry-free half
+(assisted models, set-associative geometries) refuse with stable codes.
+
+``REPRO_PIPELINE_WORKERS`` supplies the ambient worker count
+(:func:`resolve_workers` mirrors ``resolve_jobs``); a worker raising or
+dying mid-chunk surfaces as :class:`PipelineError` in the caller.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import traceback
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError, ReproError
+
+__all__ = [
+    "MAX_PIPELINE_WORKERS",
+    "PipelineError",
+    "pipeline_refusal",
+    "resolve_workers",
+    "simulate_pipeline",
+]
+
+#: Hard ceiling on the worker count (mirrors the read-ahead clamp).
+MAX_PIPELINE_WORKERS = 64
+
+#: Slabs per worker: one being filled, one in flight to the main loop.
+_SLABS_PER_WORKER = 2
+
+#: Main-loop poll interval while waiting on results (liveness checks).
+_POLL_SECONDS = 1.0
+
+
+class PipelineError(ReproError):
+    """A pipeline worker failed (raised, or died without reporting)."""
+
+
+def resolve_workers(workers=None) -> int:
+    """Resolve the pipeline worker count.
+
+    Explicit argument > ``REPRO_PIPELINE_WORKERS`` > 1 (serial).
+    ``0`` or ``"auto"`` means one worker per CPU; values are clamped to
+    :data:`MAX_PIPELINE_WORKERS`.  Worker counts <= 1 mean the serial
+    streamed path.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_PIPELINE_WORKERS", "").strip()
+        if not raw:
+            return 1
+        workers = raw
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text == "auto":
+            workers = 0
+        else:
+            try:
+                workers = int(text)
+            except ValueError:
+                raise ConfigError(
+                    f"pipeline workers must be an integer >= 0 or "
+                    f"'auto': {workers!r}"
+                ) from None
+    if workers < 0:
+        raise ConfigError(f"pipeline workers must be >= 0: {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return min(workers, MAX_PIPELINE_WORKERS)
+
+
+def pipeline_refusal(model, reset: bool = True, warmup_refs: int = 0):
+    """Why the pipelined engine cannot run this simulation (None = can).
+
+    Strictly stricter than :func:`repro.sim.engine.fast_refusal`: any
+    fast-engine refusal applies verbatim, and on top of it the kernels
+    must have a carry-free worker half — which today means plain
+    direct-mapped write-back caches (the assisted walkers are
+    event-sequential, and the set-associative LRU loop folds carried
+    set state into every reference).
+    """
+    from ..sim.engine import EngineRefusal, fast_refusal
+    from ..sim.fast_soft import is_assisted
+
+    refusal = fast_refusal(model, reset=reset, warmup_refs=warmup_refs)
+    if refusal is not None:
+        return refusal
+    if is_assisted(model):
+        return EngineRefusal(
+            "pipeline-assisted",
+            "assisted configurations walk assist events sequentially",
+        )
+    if model.geometry.ways != 1:
+        return EngineRefusal(
+            "pipeline-assoc",
+            "set-associative LRU has no carry-free chunk scan",
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _chunk_payload(stream, index, line_shift, n_sets, probed):
+    """Everything the main loop needs about one chunk, carry-free.
+
+    Runs on a worker: pages the chunk in (store read + verify + decode)
+    and performs the stable sort and group-by scan.  The payload is a
+    plain picklable dict of numpy arrays.
+    """
+    from ..sim.fast import _dm_chunk_scan
+
+    chunk = stream.chunk(index)
+    n = len(chunk)
+    if n == 0:
+        return {"n": 0}
+    la = chunk.addresses >> line_shift
+    sets = la % n_sets
+    payload = {
+        "n": n,
+        "scan": _dm_chunk_scan(la, sets, chunk.is_write, chunk.temporal),
+        "gaps": chunk.gaps,
+        "tail_la": int(la[-1]),
+    }
+    if probed:
+        payload["columns"] = (
+            chunk.addresses, chunk.is_write, chunk.temporal,
+            chunk.spatial, chunk.ref_ids,
+        )
+    return payload
+
+
+def _attach_slab(name):
+    """Attach to a main-owned shared-memory slab (fork context: the
+    resource tracker is shared with the parent, so attaching here never
+    double-registers cleanup)."""
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_loop(
+    stream, line_shift, n_sets, probed,
+    task_queue, result_queue, slab_queue, slab_bytes,
+):
+    """Worker process body: pull chunk indices until the sentinel.
+
+    Results ship through a shared-memory slab when one is configured
+    and the payload fits, else straight through the result queue.
+    Failures are reported as ``("error", index, traceback)`` — the main
+    loop turns them into :class:`PipelineError`.
+    """
+    slabs = {}
+    try:
+        while True:
+            index = task_queue.get()
+            if index is None:
+                break
+            slab_name = None
+            try:
+                payload = _chunk_payload(
+                    stream, index, line_shift, n_sets, probed
+                )
+                blob = pickle.dumps(
+                    payload, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                if slab_queue is not None:
+                    slab_name = slab_queue.get()
+                if slab_name is not None and len(blob) <= slab_bytes:
+                    slab = slabs.get(slab_name)
+                    if slab is None:
+                        slab = slabs[slab_name] = _attach_slab(slab_name)
+                    slab.buf[: len(blob)] = blob
+                    result_queue.put(("shm", index, slab_name, len(blob)))
+                    slab_name = None  # ownership passed to main
+                else:
+                    result_queue.put(("raw", index, blob))
+            except Exception:
+                result_queue.put(
+                    ("error", index, traceback.format_exc())
+                )
+            finally:
+                if slab_name is not None:
+                    slab_queue.put(slab_name)
+    finally:
+        for slab in slabs.values():
+            slab.close()
+
+
+# ----------------------------------------------------------------------
+# Main side
+# ----------------------------------------------------------------------
+
+def _slab_pool(n_slabs, slab_bytes):
+    """Create the shared-memory slab pool, or None when unavailable.
+
+    Slabs are created (and eventually unlinked) by the main process
+    only; workers merely attach.  Any failure — no /dev/shm, exotic
+    platform — degrades to queue pickling.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        slabs = {}
+        for _ in range(n_slabs):
+            slab = shared_memory.SharedMemory(create=True, size=slab_bytes)
+            slabs[slab.name] = slab
+        return slabs
+    except Exception:
+        return None
+
+
+def _iter_payloads(
+    stream, line_shift, n_sets, probed, workers
+):
+    """Yield per-chunk payload dicts in strict trace order.
+
+    The generator owns the pool: it spawns workers (fork where
+    available — trace-backed streams then ride copy-on-write), feeds
+    the task queue, reassembles out-of-order results, and tears
+    everything down on exit or error.  Worker exceptions and silent
+    worker deaths raise :class:`PipelineError`.  In-flight chunks stay
+    O(workers): workers block for a free slab (or a result-queue slot
+    on the fallback path) before scanning the next chunk.
+    """
+    n_chunks = stream.n_chunks
+    if n_chunks == 0:
+        return
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context()
+
+    workers = min(workers, n_chunks)
+    # Generous per-chunk payload bound: scan arrays + gaps + group
+    # metadata come to well under 64 bytes/ref, plus the probed columns.
+    per_ref = 160 if probed else 80
+    slab_bytes = stream.chunk_refs * per_ref + (1 << 16)
+    slabs = _slab_pool(workers * _SLABS_PER_WORKER, slab_bytes)
+
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue(maxsize=workers * _SLABS_PER_WORKER + 2)
+    slab_queue = None
+    if slabs is not None:
+        slab_queue = ctx.Queue()
+        for name in slabs:
+            slab_queue.put(name)
+
+    for index in range(n_chunks):
+        task_queue.put(index)
+    for _ in range(workers):
+        task_queue.put(None)
+
+    processes = [
+        ctx.Process(
+            target=_worker_loop,
+            args=(
+                stream, line_shift, n_sets, probed,
+                task_queue, result_queue, slab_queue, slab_bytes,
+            ),
+            daemon=True,
+        )
+        for _ in range(workers)
+    ]
+    try:
+        for process in processes:
+            process.start()
+
+        pending = {}
+        next_index = 0
+        while next_index < n_chunks:
+            if next_index in pending:
+                yield pending.pop(next_index)
+                next_index += 1
+                continue
+            try:
+                message = result_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                dead = [
+                    process for process in processes
+                    if not process.is_alive() and process.exitcode
+                ]
+                if dead:
+                    raise PipelineError(
+                        f"pipeline worker died with exit code "
+                        f"{dead[0].exitcode} before chunk {next_index} "
+                        f"arrived"
+                    ) from None
+                continue
+            kind = message[0]
+            if kind == "error":
+                _, index, text = message
+                raise PipelineError(
+                    f"pipeline worker failed on chunk {index}:\n{text}"
+                )
+            if kind == "shm":
+                _, index, slab_name, size = message
+                slab = slabs[slab_name]
+                payload = pickle.loads(slab.buf[:size])
+                slab_queue.put(slab_name)
+            else:
+                _, index, blob = message
+                payload = pickle.loads(blob)
+            pending[index] = payload
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+        for q in (task_queue, result_queue, slab_queue):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        if slabs is not None:
+            for slab in slabs.values():
+                slab.close()
+                try:
+                    slab.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+
+def simulate_pipeline(model, stream, workers: int, probes=None):
+    """Run a stream through the pipelined fast engine.
+
+    The caller (``driver.simulate_stream``) has already checked
+    :func:`pipeline_refusal`; ``model`` is a cold direct-mapped
+    write-back cache.  Counters, final model state and telemetry are
+    bit-identical to :func:`repro.sim.fast.simulate_fast_stream` — the
+    sequential consumption below *is* that function's loop, with the
+    carry-free half of each chunk farmed out.
+    """
+    from ..sim.fast import (
+        _chunk_timing, _dm_apply_carry, _per_ref_cycles,
+    )
+    from ..sim.write_buffer import WriteBuffer
+
+    model.reset()
+    stats = model.stats
+    stats.trace = stream.name
+    stats.engine = "fast"
+
+    geometry = model.geometry
+    timing = model.timing
+    n_sets = geometry.n_sets
+    line_shift = geometry.line_shift
+    hit_time = timing.hit_time
+    penalty = timing.latency + timing.transfer_cycles(geometry.line_size)
+    words_per_line = geometry.line_size // 8
+    tracks_temporal = model._entry_has_temporal
+
+    tags = np.full(n_sets, -1, dtype=np.int64)
+    dirty = np.zeros(n_sets, dtype=bool)
+    temporal_bits = np.zeros(n_sets, dtype=bool)
+
+    write_buffer = WriteBuffer(
+        model.write_buffer.entries, model.write_buffer.drain_cycles
+    )
+    first = True
+    prev_base = 0
+    prev_miss = False
+    cycles = 0
+    stalls = 0
+    refs = 0
+    hits_total = 0
+    writebacks = 0
+    ready_at = 0
+    bus_free_at = 0
+    last_hit = True
+    last_la = 0
+
+    for payload in _iter_payloads(
+        stream, line_shift, n_sets, probes is not None, workers
+    ):
+        n = payload["n"]
+        if n == 0:
+            continue
+        gaps = payload["gaps"]
+        hits, victim_dirty = _dm_apply_carry(
+            payload["scan"], tags, dirty, temporal_bits
+        )
+        per_ref_stalls = (
+            np.zeros(n, dtype=np.int64) if probes is not None else None
+        )
+        timed = _chunk_timing(
+            gaps, hits, victim_dirty, hit_time, penalty,
+            write_buffer, first, prev_base, prev_miss,
+            per_ref_stalls=per_ref_stalls,
+        )
+        chunk_cycles, chunk_stalls, prev_base, ready_at, chunk_bus = timed
+        if probes is not None:
+            from ..telemetry.events import TelemetryBatch
+
+            addresses, is_write, temporal, spatial, ref_ids = (
+                payload["columns"]
+            )
+            miss = ~hits
+            cycles_col = _per_ref_cycles(
+                gaps, hits, per_ref_stalls, hit_time, penalty, first=first,
+            )
+            assert int(cycles_col.sum()) == chunk_cycles, (
+                "per-reference cycle reconstruction disagrees with the "
+                "chunk timing pass"
+            )
+            probes.on_batch(
+                TelemetryBatch(
+                    start=refs,
+                    addresses=addresses,
+                    is_write=is_write,
+                    temporal=temporal,
+                    spatial=spatial,
+                    gaps=gaps,
+                    miss=miss,
+                    assist_hit=np.zeros(n, dtype=bool),
+                    cycles=cycles_col,
+                    words=miss.astype(np.int64) * words_per_line,
+                    wb_stall=per_ref_stalls,
+                    ref_ids=ref_ids,
+                )
+            )
+        cycles += chunk_cycles
+        stalls += chunk_stalls
+        if chunk_bus is not None:
+            bus_free_at = chunk_bus
+        refs += n
+        hits_total += int(hits.sum())
+        writebacks += int(victim_dirty.sum())
+        first = False
+        last_hit = bool(hits[-1])
+        prev_miss = not last_hit
+        last_la = payload["tail_la"]
+
+    stats.refs = refs
+    stats.hits_main = hits_total
+    stats.misses = refs - hits_total
+    stats.lines_fetched = stats.misses
+    stats.words_fetched = stats.misses * words_per_line
+    stats.writebacks = writebacks
+    stats.write_buffer_stalls = stalls
+    stats.cycles = cycles
+
+    model.write_buffer = write_buffer
+    model._ready_at = ready_at
+    if hasattr(model, "_bus_free_at"):
+        model._bus_free_at = bus_free_at
+    if refs:
+        model.last_fetch = [] if last_hit else [last_la]
+    model._tags = tags.tolist()
+    model._dirty = dirty.tolist()
+    if tracks_temporal:
+        model._temporal = temporal_bits.tolist()
+    stats.check()
+    if probes is not None:
+        probes.finish(stats)
+    return stats
