@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-serial lint bench bench-sim trace-demo analyze-demo figures clean-cache
+.PHONY: test test-serial lint bench bench-sim bench-native native trace-demo analyze-demo figures clean-cache
 
 # Tier-1: the unit/integration/property suite.  REPRO_JOBS=2 keeps the
 # process-pool path (and spec pickling) exercised on every run;
@@ -28,6 +28,16 @@ bench:
 # to catch perf regressions.
 bench-sim:
 	$(PYTHON) -m repro bench --out BENCH_sim.json
+
+# Force-build the native compiled kernels and print the cached .so
+# path (a no-op beyond the print when the cache is already warm).
+native:
+	$(PYTHON) -m repro.sim.native
+
+# Native-tier throughput: reference vs fast vs compiled-C on the
+# standard configs, plus the native refusal matrix and toolchain.
+bench-native:
+	$(PYTHON) -m repro bench --scenario native --out BENCH_native.json
 
 # External-trace pipeline end to end: import the bundled dinero sample
 # into a chunked v2 store (with dynamic tag annotation), inspect it,

@@ -3,8 +3,36 @@ installs (no `wheel` package available offline).  All real metadata lives
 in pyproject.toml; install with:
 
     pip install -e . --no-build-isolation --no-use-pep517
+
+As a convenience, building the package also tries to pre-compile the
+native simulation kernels (repro.sim.native) so the first simulation of
+an installed copy does not pay the compile.  The attempt is strictly
+best-effort: no C toolchain, a sandboxed build host, or any compile
+error just leaves the wheel pure-Python — the engine ladder builds (or
+skips) the kernels at first use instead.
 """
 
 from setuptools import setup
+from setuptools.command.build_py import build_py
 
-setup()
+
+class build_py_with_native(build_py):
+    def run(self):
+        super().run()
+        try:
+            import sys
+
+            sys.path.insert(0, "src")
+            from repro.sim.native import build as native_build
+
+            path, diagnostic = native_build.ensure_library()
+            if path is not None:
+                print(f"pre-built native kernels: {path}")
+            else:
+                print(f"native kernels not pre-built ({diagnostic}); "
+                      "they will build on first use if a compiler exists")
+        except Exception as exc:  # never fail the install over this
+            print(f"native kernel pre-build skipped: {exc}")
+
+
+setup(cmdclass={"build_py": build_py_with_native})

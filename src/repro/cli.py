@@ -73,8 +73,10 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         choices=ENGINES,
         default=None,
         help="simulation engine (default: $REPRO_ENGINE or auto; "
-        "'auto' uses the fast batch kernels whenever they are provably "
-        "equivalent to the reference loop)",
+        "'auto' walks the ladder top-down — the native compiled "
+        "kernels when provably equivalent and a C toolchain or "
+        "prebuilt library exists, else the fast batch kernels when "
+        "provably equivalent, else the reference loop)",
     )
 
 
@@ -148,10 +150,14 @@ def _parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--scenario",
-        choices=("engine", "soft", "stream", "pipeline", "probes", "all"),
+        choices=(
+            "engine", "soft", "native", "stream", "pipeline", "probes",
+            "all",
+        ),
         default="engine",
         help="'engine' = per-engine throughput, 'soft' = assisted-path "
-        "kernels on the blocked-loop workload, 'stream' = streamed vs "
+        "kernels on the blocked-loop workload, 'native' = the compiled "
+        "C tier vs fast and reference, 'stream' = streamed vs "
         "in-memory throughput and peak memory, 'pipeline' = "
         "multi-process pipelined streaming vs serial, 'probes' = "
         "telemetry overhead with probes off and on, 'all' = everything "
@@ -167,6 +173,13 @@ def _parser() -> argparse.ArgumentParser:
         "--min-assoc-soft-speedup", type=float, default=None, metavar="X",
         help="separate floor for the set-associative soft configs "
         "(default: the --min-soft-speedup floor)",
+    )
+    bench.add_argument(
+        "--min-native-speedup", type=float, default=None, metavar="X",
+        help="fail (exit 1) if any native-battery native-over-fast "
+        "speedup falls below X (CI guard; implies the native scenario "
+        "ran; degrades to a completed-run check when no C compiler is "
+        "present)",
     )
     bench.add_argument(
         "--min-pipeline-speedup", type=float, default=None, metavar="X",
@@ -426,31 +439,58 @@ def _cmd_simulate(
 
 
 def _explain_engine(config: str, engine: Optional[str]) -> int:
-    """Report engine selection per configuration without simulating."""
+    """Report engine selection per configuration without simulating.
+
+    Walks the full ladder for each configuration: native (compiled C
+    kernels, conditional on a toolchain or prebuilt library), fast
+    (numpy batch kernels), reference.  With an explicit ``fast`` or
+    ``native`` knob a refusing configuration is an error, exactly as
+    ``simulate`` would raise.
+    """
     from .errors import ConfigError
-    from .sim.engine import fast_refusal, resolve_engine
+    from .sim.engine import fast_refusal, native_refusal, resolve_engine
 
     knob = resolve_engine(engine)
     chosen = dict(CONFIGS) if config == "all" else {config: CONFIGS[config]}
     width = max(len(label) for label in chosen)
     print(f"engine knob: {knob}")
+    errors = False
     for label, spec in chosen.items():
         refusal = fast_refusal(spec.build())
-        if refusal is None:
-            selected, detail = "fast", "batch kernels proven equivalent"
+        native = native_refusal(spec.build())
+        if knob == "reference":
+            selected, detail = "reference", "forced by the engine knob"
+        elif knob == "native":
+            if native is None:
+                selected = "native"
+                detail = "compiled kernels proven equivalent and loadable"
+            else:
+                selected = "error"
+                detail = f"refused [{native.code}]: {native.message}"
         elif knob == "fast":
-            selected = "error"
-            detail = f"refused [{refusal.code}]: {refusal.message}"
+            if refusal is None:
+                selected, detail = "fast", "batch kernels proven equivalent"
+            else:
+                selected = "error"
+                detail = f"refused [{refusal.code}]: {refusal.message}"
+        elif native is None:
+            selected = "native"
+            detail = "compiled kernels proven equivalent and loadable"
+        elif refusal is None:
+            selected = "fast"
+            detail = (
+                f"batch kernels proven equivalent; native passed over "
+                f"[{native.code}]"
+            )
         else:
             selected = "reference"
             detail = f"[{refusal.code}] {refusal.message}"
+        errors = errors or selected == "error"
         print(f"  {label:<{width}}  {selected:<9}  {detail}")
-    if knob == "fast" and any(
-        fast_refusal(spec.build()) is not None for spec in chosen.values()
-    ):
+    if errors:
         raise ConfigError(
-            "engine='fast' cannot run every selected configuration "
-            "(see refusals above)"
+            f"engine={knob!r} cannot run every selected configuration "
+            f"(see refusals above)"
         )
     return 0
 
@@ -461,17 +501,21 @@ def _cmd_bench(
     chunk_refs: int = 1 << 18, min_soft_speedup: Optional[float] = None,
     min_assoc_soft_speedup: Optional[float] = None,
     min_pipeline_speedup: Optional[float] = None,
+    min_native_speedup: Optional[float] = None,
 ) -> int:
     from .harness.bench import (
         DEFAULT_REFS,
         DEFAULT_STREAM_REFS,
         format_bench,
+        format_native_bench,
         format_pipeline_bench,
         format_probe_bench,
         format_soft_bench,
         format_stream_bench,
+        native_bench_guard,
         pipeline_bench_guard,
         run_bench,
+        run_native_bench,
         run_pipeline_bench,
         run_probe_bench,
         run_soft_bench,
@@ -495,6 +539,16 @@ def _cmd_bench(
             guard_problems = soft_bench_guard(
                 soft_payload, min_soft_speedup,
                 assoc_min_speedup=min_assoc_soft_speedup,
+            )
+    if scenario in ("native", "all") or min_native_speedup is not None:
+        native_payload = run_native_bench(
+            refs=refs or DEFAULT_REFS, repeat=repeat
+        )
+        print(format_native_bench(native_payload))
+        payload["native"] = native_payload
+        if min_native_speedup is not None:
+            guard_problems.extend(
+                native_bench_guard(native_payload, min_native_speedup)
             )
     if scenario in ("stream", "all"):
         stream_payload = run_stream_bench(
@@ -774,7 +828,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.refs, args.repeat, args.out,
                 args.scenario, args.stream_refs, args.chunk_refs,
                 args.min_soft_speedup, args.min_assoc_soft_speedup,
-                args.min_pipeline_speedup,
+                args.min_pipeline_speedup, args.min_native_speedup,
             )
         if args.command == "tags":
             return _cmd_tags(args.benchmark, args.scale)

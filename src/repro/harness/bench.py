@@ -275,6 +275,171 @@ def soft_bench_guard(
     return problems
 
 
+# ----------------------------------------------------------------------
+# Native compiled tier
+# ----------------------------------------------------------------------
+#: Configs measured by bench-native: the plain write-back standard
+#: configurations the compiled kernels cover (both model classes).
+NATIVE_BENCH_CONFIGS = ("standard", "standard_cache")
+
+
+def run_native_bench(
+    refs: int = DEFAULT_REFS,
+    repeat: int = 3,
+    configs: Sequence[str] = NATIVE_BENCH_CONFIGS,
+) -> Dict:
+    """Measure the native compiled tier against fast and reference.
+
+    Same shape as :func:`run_bench` (per-engine rows) plus a
+    ``native_speedup`` summary (native over *fast* — the ladder step
+    this tier buys) and a ``native_refusal_matrix`` keyed on
+    :func:`~repro.sim.engine.native_refusal` codes.  When no toolchain
+    or prebuilt library exists, every entry reads ``native-unavailable``
+    and the native rows are simply absent — :func:`native_bench_guard`
+    then degrades to a completed-run check, so a compiler is an
+    optimisation, never a requirement.
+    """
+    from ..sim.engine import native_refusal
+    from ..sim.native import availability, build as native_build
+
+    specs = _bench_specs(configs)
+    trace = bench_trace(refs)
+    rows: List[Dict] = []
+    native_speedup: Dict[str, float] = {}
+    fast_speedup: Dict[str, float] = {}
+    matrix: Dict[str, Optional[str]] = {}
+    by_engine: Dict[str, Dict[str, float]] = {}
+
+    for name, spec in specs.items():
+        refusal = native_refusal(spec.build())
+        matrix[name] = None if refusal is None else refusal.code
+        engines = ["reference"]
+        if fast_refusal(spec.build()) is None:
+            engines.append("fast")
+        if refusal is None:
+            engines.append("native")
+        for engine in engines:
+            seconds = _best_of(
+                lambda: _time_once(spec, trace, engine), repeat
+            )
+            throughput = refs / seconds
+            rows.append(
+                {
+                    "config": name,
+                    "engine": engine,
+                    "seconds": round(seconds, 6),
+                    "refs_per_sec": round(throughput),
+                }
+            )
+            by_engine.setdefault(name, {})[engine] = throughput
+    for name, measured in by_engine.items():
+        if "fast" in measured:
+            fast_speedup[name] = round(
+                measured["fast"] / measured["reference"], 2
+            )
+        if "native" in measured and "fast" in measured:
+            native_speedup[name] = round(
+                measured["native"] / measured["fast"], 2
+            )
+
+    diagnostic = availability()
+    command = native_build.compiler_command()
+    toolchain = None
+    if command is not None:
+        toolchain, _ = native_build._compiler_version(command)
+    library = native_build.library_path()
+    return {
+        "refs": refs,
+        "repeat": repeat,
+        "trace": trace.name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "toolchain": toolchain,
+        "library": None if library is None else str(library),
+        "native_diagnostic": diagnostic,
+        "results": rows,
+        "fast_speedup": fast_speedup,
+        "native_speedup": native_speedup,
+        "native_refusal_matrix": matrix,
+    }
+
+
+def native_bench_guard(payload: Dict, min_speedup: float) -> List[str]:
+    """CI guard over a :func:`run_native_bench` payload.
+
+    Enforces ``native/fast >= min_speedup`` for every battery config —
+    unless the native tier was unavailable (no compiler, no prebuilt
+    library), in which case the guard degrades to checking the fast
+    rows completed: the tier is opt-in by construction, and the
+    no-compiler CI job relies on this degradation staying green.  Any
+    refusal code *other* than ``native-unavailable`` is always a
+    failure — the battery is chosen so the compiled kernels must cover
+    it.
+    """
+    problems: List[str] = []
+    matrix = payload["native_refusal_matrix"]
+    for name, code in matrix.items():
+        if code is not None and code != "native-unavailable":
+            problems.append(
+                f"{name}: native tier refuses (code={code}); the "
+                f"native battery must only ever refuse for a missing "
+                f"toolchain"
+            )
+    if all(code == "native-unavailable" for code in matrix.values()):
+        # No toolchain anywhere: demand only that the ladder served the
+        # fast tier (speed is covered where a compiler exists).
+        for row in payload["results"]:
+            if row["engine"] == "fast" and row["refs_per_sec"] <= 0:
+                problems.append(
+                    f"{row['config']}: fast fallback recorded no "
+                    f"throughput"
+                )
+        return problems
+    for name, code in matrix.items():
+        if code is not None:
+            continue
+        speedup = payload["native_speedup"].get(name)
+        if speedup is None:
+            problems.append(f"{name}: no native-engine measurement")
+        elif speedup < min_speedup:
+            problems.append(
+                f"{name}: native speedup {speedup}x over fast is below "
+                f"the {min_speedup}x floor"
+            )
+    return problems
+
+
+def format_native_bench(payload: Dict) -> str:
+    """Human-readable rendering of a bench-native payload."""
+    lines = [
+        f"native compiled tier ({payload['refs']} refs, "
+        f"best of {payload['repeat']})"
+    ]
+    if payload["toolchain"]:
+        lines.append(f"  toolchain: {payload['toolchain']}")
+    if payload["library"]:
+        lines.append(f"  library:   {payload['library']}")
+    if payload["native_diagnostic"]:
+        lines.append(f"  native unavailable: {payload['native_diagnostic']}")
+    for row in payload["results"]:
+        lines.append(
+            f"  {row['config']:>16} [{row['engine']:>9}]  "
+            f"{row['refs_per_sec'] / 1e6:7.3f} Mrefs/s"
+        )
+    for name, speedup in payload["native_speedup"].items():
+        lines.append(f"  {name}: native tier is {speedup}x fast")
+    refused = {
+        name: code
+        for name, code in payload["native_refusal_matrix"].items()
+        if code is not None
+    }
+    lines.append(
+        f"  native refusal matrix: "
+        f"{refused if refused else 'empty (all clear)'}"
+    )
+    return "\n".join(lines)
+
+
 #: Default streamed-trace length for bench-stream (10M refs — well past
 #: what the paper's traces need, per the ROADMAP's scale goal).
 DEFAULT_STREAM_REFS = 10_000_000
@@ -471,9 +636,12 @@ def run_pipeline_bench(
         stream = TraceStream.from_store(store)
 
         serial_s = min(
-            _timed(lambda: simulate_stream(spec.build(), stream))
+            _timed(
+                lambda: simulate_stream(spec.build(), stream, engine="fast")
+            )
             for _ in range(repeat)
         )
+        cpus = _available_cpus()
         for count in workers:
             seconds = min(
                 _timed(
@@ -483,14 +651,19 @@ def run_pipeline_bench(
                 )
                 for _ in range(repeat)
             )
-            rows.append(
-                {
-                    "workers": count,
-                    "seconds": round(seconds, 6),
-                    "refs_per_sec": round(refs / seconds),
-                    "speedup": round(serial_s / seconds, 2),
-                }
-            )
+            row = {
+                "workers": count,
+                "seconds": round(seconds, 6),
+                "refs_per_sec": round(refs / seconds),
+            }
+            if cpus < count:
+                # Fewer cores than workers: a "speedup" here would just
+                # measure oversubscription, and a sub-1x number reads as
+                # a pipeline regression when it is a machine property.
+                row["insufficient_cpus"] = True
+            else:
+                row["speedup"] = round(serial_s / seconds, 2)
+            rows.append(row)
     finally:
         shutil.rmtree(root, ignore_errors=True)
 
@@ -499,7 +672,7 @@ def run_pipeline_bench(
         "chunk_refs": chunk_refs,
         "repeat": repeat,
         "config": "standard",
-        "cpus": _available_cpus(),
+        "cpus": cpus,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "serial_refs_per_sec": round(refs / serial_s),
@@ -514,9 +687,11 @@ def pipeline_bench_guard(
 
     Enforces ``speedup >= min_speedup`` on the ``at_workers`` row —
     but only when the process actually had that many CPUs: a pipeline
-    cannot beat serial on one core, so on smaller machines the guard
-    degrades to checking that the pipelined run completed (its
-    bit-identical parity is covered by tests, not this guard).
+    cannot beat serial on one core, so rows stamped
+    ``insufficient_cpus`` (and machines whose CPU count is below the
+    worker count) degrade the guard to checking that the pipelined run
+    completed (its bit-identical parity is covered by tests, not this
+    guard).
     """
     problems: List[str] = []
     rows = {row["workers"]: row for row in payload["results"]}
@@ -531,7 +706,7 @@ def pipeline_bench_guard(
             f"pipeline run at {at_workers} workers recorded no throughput"
         )
     cpus = payload.get("cpus", 1)
-    if cpus < at_workers:
+    if row.get("insufficient_cpus") or cpus < at_workers:
         return problems  # not enough cores to demand a speedup
     if row["speedup"] < min_speedup:
         problems.append(
@@ -554,10 +729,13 @@ def format_pipeline_bench(payload: Dict) -> str:
         f"{payload['serial_refs_per_sec'] / 1e6:7.3f} Mrefs/s"
     )
     for row in payload["results"]:
+        if row.get("insufficient_cpus"):
+            verdict = "(insufficient CPUs; no speedup claim)"
+        else:
+            verdict = f"({row['speedup']:.2f}x serial)"
         lines.append(
             f"  {row['workers']} workers          "
-            f"{row['refs_per_sec'] / 1e6:7.3f} Mrefs/s "
-            f"({row['speedup']:.2f}x serial)"
+            f"{row['refs_per_sec'] / 1e6:7.3f} Mrefs/s {verdict}"
         )
     return "\n".join(lines)
 

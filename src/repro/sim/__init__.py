@@ -10,6 +10,8 @@ from .engine import (
     EngineMismatchError,
     cross_validate,
     cross_validate_stream,
+    fast_refusal,
+    native_refusal,
     resolve_engine,
     select_engine,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "EngineMismatchError",
     "cross_validate",
     "cross_validate_stream",
+    "fast_refusal",
+    "native_refusal",
     "resolve_engine",
     "select_engine",
     "simulate",

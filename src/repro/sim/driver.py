@@ -5,10 +5,12 @@ advances by the recorded inter-reference gap (issue rate, figure 4b) plus
 the stall of the previous access beyond its pipelined hit slot — so
 write-buffer drain and prefetch arrival see realistic wall-clock times.
 
-The ``engine`` knob selects between the two simulation tiers (see
+The ``engine`` knob selects between the three simulation tiers (see
 :mod:`repro.sim.engine`): the per-reference ``reference`` loop below,
-and the exact batch kernels of :mod:`repro.sim.fast`.  The default
-(``auto``) uses the fast engine whenever the model proves equivalence.
+the exact batch kernels of :mod:`repro.sim.fast`, and the compiled C
+kernels of :mod:`repro.sim.native`.  The default (``auto``) walks the
+ladder top-down, using the highest tier that proves equivalence (for
+native, also that a toolchain or prebuilt library exists).
 
 The ``probes`` knob attaches a telemetry
 :class:`~repro.telemetry.probes.ProbeSet`.  Probes-off runs keep the
@@ -58,10 +60,11 @@ def simulate(
     counters, so the result reflects steady-state behaviour only (the
     paper measures whole cold-start traces; warm-up is offered for
     methodological comparisons).  ``engine`` is ``auto`` / ``reference``
-    / ``fast`` (default: ``$REPRO_ENGINE`` or ``auto``); the selection
-    actually used is recorded in ``SimResult.engine``.  ``probes`` is an
-    optional telemetry :class:`~repro.telemetry.probes.ProbeSet`; the
-    counters of a probed run are identical to an un-probed one.
+    / ``fast`` / ``native`` (default: ``$REPRO_ENGINE`` or ``auto``);
+    the selection actually used is recorded in ``SimResult.engine``.
+    ``probes`` is an optional telemetry
+    :class:`~repro.telemetry.probes.ProbeSet`; the counters of a probed
+    run are identical to an un-probed one.
     """
     if warmup_refs < 0:
         raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
@@ -69,12 +72,19 @@ def simulate(
     chosen, refusal = select_engine(
         engine, model, reset=reset, warmup_refs=warmup_refs
     )
+    if chosen == "native":
+        from .native import simulate_native
+
+        return simulate_native(model, trace, probes=probes)
     if chosen == "fast":
         from .fast import simulate_fast
 
         if probes is not None:
-            return simulate_fast(model, trace, probes=probes)
-        return simulate_fast(model, trace)
+            result = simulate_fast(model, trace, probes=probes)
+        else:
+            result = simulate_fast(model, trace)
+        result.engine_refusal = refusal
+        return result
     if probes is not None:
         # One instrumented reference loop serves both entry points: the
         # trace is windowed into a stream (zero-copy chunk views, same
@@ -156,9 +166,11 @@ def simulate_stream(
     kernel scan overlap across a worker pool while the sequential
     state carry stays here — still bit-identical.  An explicit count
     is strict (:class:`~repro.errors.ConfigError` when the config
-    cannot be pipelined or ``engine="reference"`` is forced); the
-    ambient ``$REPRO_PIPELINE_WORKERS`` falls back to the serial path
-    silently, mirroring ``engine="auto"``.
+    cannot be pipelined or ``engine="reference"`` / ``engine="native"``
+    forces the serial path); the ambient ``$REPRO_PIPELINE_WORKERS``
+    falls back to the serial path silently, mirroring ``engine="auto"``
+    — and when the serial native tier applies, ``auto`` prefers it over
+    the pipeline (one compiled loop beats fan-out overhead).
     """
     if warmup_refs < 0:
         raise ValueError(f"warmup_refs must be >= 0: {warmup_refs}")
@@ -167,21 +179,33 @@ def simulate_stream(
         from ..stream.pipeline import (
             pipeline_refusal, resolve_workers, simulate_pipeline,
         )
-        from .engine import resolve_engine
+        from .engine import native_refusal, resolve_engine
 
         n_workers = resolve_workers(workers)
         if n_workers > 1:
             reason = pipeline_refusal(
                 model, reset=reset, warmup_refs=warmup_refs
             )
-            forced_reference = resolve_engine(engine) == "reference"
-            if reason is None and not forced_reference:
+            resolved = resolve_engine(engine)
+            forced_serial = resolved in ("reference", "native")
+            # With an *ambient* worker count, auto defers to the engine
+            # ladder: the serial native tier beats the pipelined fast
+            # engine, so prefer it when it applies.  An explicit
+            # ``workers=`` request keeps the pipeline.
+            ambient_native = (
+                workers is None
+                and resolved == "auto"
+                and native_refusal(
+                    model, reset=reset, warmup_refs=warmup_refs
+                ) is None
+            )
+            if reason is None and not forced_serial and not ambient_native:
                 return simulate_pipeline(
                     model, stream, n_workers, probes=probes
                 )
             if workers is not None:
                 detail = (
-                    "engine='reference' forces the serial reference loop"
+                    f"engine={resolved!r} forces the serial path"
                     if reason is None else str(reason)
                 )
                 raise ConfigError(
@@ -192,12 +216,19 @@ def simulate_stream(
     chosen, refusal = select_engine(
         engine, model, reset=reset, warmup_refs=warmup_refs
     )
+    if chosen == "native":
+        from .native import simulate_native_stream
+
+        return simulate_native_stream(model, stream, probes=probes)
     if chosen == "fast":
         from .fast import simulate_fast_stream
 
         if probes is not None:
-            return simulate_fast_stream(model, stream, probes=probes)
-        return simulate_fast_stream(model, stream)
+            result = simulate_fast_stream(model, stream, probes=probes)
+        else:
+            result = simulate_fast_stream(model, stream)
+        result.engine_refusal = refusal
+        return result
     if probes is not None:
         stats = _simulate_reference_probed(model, stream, probes)
         stats.engine_refusal = refusal

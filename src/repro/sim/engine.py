@@ -1,4 +1,4 @@
-"""Engine selection: the two-tier simulation engine's front door.
+"""Engine selection: the three-tier simulation engine's front door.
 
 Every simulation names an *engine*:
 
@@ -13,8 +13,17 @@ Every simulation names an *engine*:
     software-assisted family (bounce-back cache, virtual lines,
     temporal bits), but not prefetching, warm-up windows or warm
     starts.
+``native``
+    The compiled C kernels of :mod:`repro.sim.native`: the fast tier's
+    plain write-back LRU subset (no assist structures) fused into one
+    serial loop, built on demand with the system C compiler and loaded
+    via ctypes.  Strictly above ``fast`` in the ladder, and
+    additionally conditional on a toolchain or prebuilt library being
+    present (the stable ``native-unavailable`` refusal when not).
 ``auto`` (the default)
-    Picks ``fast`` when the model proves equivalent, else silently
+    Walks the ladder top-down: ``native`` when
+    :func:`native_refusal` proves equivalence and the library loads,
+    else ``fast`` when the model proves equivalent, else silently
     falls back to ``reference``.  The selection is recorded in
     ``SimResult.engine``.
 
@@ -26,8 +35,8 @@ construction*: any model without the hook, and any configuration the
 hook cannot vouch for, runs on the reference engine.
 
 ``REPRO_ENGINE`` sets the default engine when the caller passes none
-(mirrors ``REPRO_JOBS``); :func:`cross_validate` runs both engines on
-fresh models and asserts every counter matches.
+(mirrors ``REPRO_JOBS``); :func:`cross_validate` runs every applicable
+engine on fresh models and asserts every counter matches.
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ from ..errors import ConfigError, ReproError
 from .result import SimResult
 
 #: Valid values of the engine knob.
-ENGINES = ("auto", "reference", "fast")
+ENGINES = ("auto", "reference", "fast", "native")
 
 #: SimResult counter fields compared by cross-validation (everything
 #: except the engine tag and the trace/cache labels).
@@ -76,11 +85,14 @@ class EngineRefusal(str):
         "degenerate-timing",  # miss penalty below the pipelined hit
         "write-policy",       # non-write-back standard cache
         "two-level-hierarchy",  # L2 replays L1 fetches per reference
+        # Native tier only: configs the fast engine accepts but the
+        # compiled kernels do not cover, or no toolchain/library.
+        "native-assisted",    # assisted walkers stay in Python
+        "native-unavailable",  # no C compiler and no prebuilt library
         # Pipelined streaming only (stream/pipeline.py): configs the
         # fast engine accepts but whose kernels have no carry-free half
         # to ship to workers.
         "pipeline-assisted",  # assisted walker is event-sequential
-        "pipeline-assoc",     # per-set LRU loop needs live set state
     )
 
     def __new__(cls, code: str, message: str) -> "EngineRefusal":
@@ -139,6 +151,39 @@ def fast_refusal(
     return hook()
 
 
+def native_refusal(
+    model, reset: bool = True, warmup_refs: int = 0
+) -> Optional[EngineRefusal]:
+    """Why the native tier cannot run this simulation (None = it can).
+
+    Strictly stricter than :func:`fast_refusal`: any fast-engine
+    refusal applies verbatim; on top of it the compiled kernels cover
+    only the plain write-back LRU loops (the assisted family stays on
+    the Python event-driven walkers), and a C toolchain or a prebuilt
+    library must actually be present (``native-unavailable`` carries
+    the compiler diagnostic).
+    """
+    reason = fast_refusal(model, reset=reset, warmup_refs=warmup_refs)
+    if reason is not None:
+        return reason
+    from .fast_soft import is_assisted
+
+    if is_assisted(model):
+        return EngineRefusal(
+            "native-assisted",
+            "assisted configurations run the event-driven Python "
+            "walkers, which have no compiled kernel",
+        )
+    from .native import availability
+
+    diagnostic = availability()
+    if diagnostic is not None:
+        return EngineRefusal(
+            "native-unavailable", f"no compiled kernel: {diagnostic}"
+        )
+    return None
+
+
 def select_engine(
     engine: Optional[str],
     model,
@@ -147,51 +192,77 @@ def select_engine(
 ) -> Tuple[str, Optional[EngineRefusal]]:
     """Resolve the knob against a concrete simulation.
 
-    Returns ``(chosen, refusal)`` where ``chosen`` is
-    ``"fast"`` or ``"reference"``.  ``engine="fast"`` raises
+    Returns ``(chosen, refusal)`` where ``chosen`` is ``"native"``,
+    ``"fast"`` or ``"reference"``; ``refusal`` explains why a higher
+    tier was passed over (None when the top tier runs).
+    ``engine="fast"`` / ``engine="native"`` raise
     :class:`~repro.errors.ConfigError` when equivalence cannot be
-    proved, rather than silently running a different simulation.
+    proved (for native, the message carries the compiler diagnostic),
+    rather than silently running a different simulation.
     """
     engine = resolve_engine(engine)
     if engine == "reference":
         return "reference", None
-    reason = fast_refusal(model, reset=reset, warmup_refs=warmup_refs)
-    if reason is None:
-        return "fast", None
+    if engine == "native":
+        reason = native_refusal(model, reset=reset, warmup_refs=warmup_refs)
+        if reason is not None:
+            raise ConfigError(
+                f"engine='native' cannot run {model.name!r} "
+                f"[{reason.code}]: {reason}"
+            )
+        return "native", None
     if engine == "fast":
-        raise ConfigError(
-            f"engine='fast' is not equivalent for {model.name!r}: {reason}"
-        )
+        reason = fast_refusal(model, reset=reset, warmup_refs=warmup_refs)
+        if reason is not None:
+            raise ConfigError(
+                f"engine='fast' is not equivalent for {model.name!r}: "
+                f"{reason}"
+            )
+        return "fast", None
+    # auto: walk the ladder top-down.  native_refusal layers on
+    # fast_refusal, so a native-only refusal means the fast tier runs.
+    reason = native_refusal(model, reset=reset, warmup_refs=warmup_refs)
+    if reason is None:
+        return "native", None
+    if reason.code in ("native-assisted", "native-unavailable"):
+        return "fast", reason
     return "reference", reason
 
 
 def cross_validate(
     build: Callable[[], object], trace, engine_result: str = "reference"
 ) -> SimResult:
-    """Run both engines on fresh models and assert identical counters.
+    """Run every applicable engine on fresh models and assert identical
+    counters.
 
     ``build`` constructs a fresh model (a ``CacheSpec.build`` bound
-    method, a preset factory...).  Returns the result of
-    ``engine_result``.  Raises :class:`EngineMismatchError` listing
-    every differing counter, or :class:`~repro.errors.ConfigError` when
-    the configuration has no fast path to validate against.
+    method, a preset factory...).  Always runs the reference and fast
+    tiers; when :func:`native_refusal` clears the configuration the
+    native tier joins as a third leg, so one call checks the whole
+    ladder.  Returns the result of ``engine_result``.  Raises
+    :class:`EngineMismatchError` listing every differing counter per
+    engine, or :class:`~repro.errors.ConfigError` when the
+    configuration has no fast path to validate against.
     """
     from .driver import simulate
 
     reference = simulate(build(), trace, engine="reference")
-    fast = simulate(build(), trace, engine="fast")
+    others = {"fast": simulate(build(), trace, engine="fast")}
+    if native_refusal(build()) is None:
+        others["native"] = simulate(build(), trace, engine="native")
     mismatches = [
         f"{name}: reference={getattr(reference, name)} "
-        f"fast={getattr(fast, name)}"
+        f"{engine}={getattr(result, name)}"
+        for engine, result in others.items()
         for name in PARITY_FIELDS
-        if getattr(reference, name) != getattr(fast, name)
+        if getattr(reference, name) != getattr(result, name)
     ]
     if mismatches:
         raise EngineMismatchError(
             f"engines disagree on {reference.cache!r} x {trace.name!r}: "
             + "; ".join(mismatches)
         )
-    return reference if engine_result == "reference" else fast
+    return others.get(engine_result, reference)
 
 
 def cross_validate_stream(

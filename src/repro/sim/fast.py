@@ -797,37 +797,84 @@ def _functional_dm_chunk(
     return _dm_apply_carry(scan, tags, dirty, temporal_bits)
 
 
-def _functional_assoc_chunk(
+class _AssocChunkScan:
+    """Carry-free half of the set-associative chunk walk.
+
+    Unlike the direct-mapped scan there is no provisional outcome to
+    patch: every reference's hit/victim depends on its set's carried
+    MRU order, so the walk itself stays sequential.  What *is*
+    carry-free — and what the pipelined engine farms to workers — is
+    everything upstream of the walk: chunk page-in, fingerprint verify,
+    decode, the stable set-order argsort and the group boundaries.
+    ``starts``/``ends`` are numpy index arrays (compact to pickle);
+    :func:`_assoc_apply_carry` walks them on the critical path.
+    """
+
+    __slots__ = (
+        "order", "set_s", "starts", "ends", "la", "is_write", "temporal",
+    )
+
+    def __init__(
+        self, order, set_s, starts, ends, la, is_write, temporal,
+    ) -> None:
+        self.order = order
+        self.set_s = set_s
+        self.starts = starts
+        self.ends = ends
+        self.la = la
+        self.is_write = is_write
+        self.temporal = temporal
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+def _assoc_chunk_scan(
     la: np.ndarray,
     sets: np.ndarray,
     is_write: np.ndarray,
     temporal: np.ndarray,
+) -> _AssocChunkScan:
+    """Carry-free set-group analysis of one set-associative chunk."""
+    n = len(la)
+    order = np.argsort(sets, kind="stable")
+    set_s = sets[order]
+    boundaries = np.nonzero(set_s[1:] != set_s[:-1])[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [n]))
+    return _AssocChunkScan(
+        order=order, set_s=set_s, starts=starts, ends=ends,
+        la=la, is_write=is_write, temporal=temporal,
+    )
+
+
+def _assoc_apply_carry(
+    scan: _AssocChunkScan,
     ways: int,
     temporal_priority: bool,
     sets_state: List[List[List]],
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """One chunk of the per-set LRU loop over persistent set state.
+    """Walk a scanned chunk's set groups over the carried MRU state.
 
     Identical logic to :func:`_functional_set_associative`, but the
     MRU-first entry lists live in ``sets_state`` and carry across
     chunks (sets untouched by this chunk keep their entries untouched).
     """
-    n = len(la)
-    order = np.argsort(sets, kind="stable")
-    set_s = sets[order]
-    boundaries = np.nonzero(set_s[1:] != set_s[:-1])[0] + 1
-    starts = [0] + boundaries.tolist()
-    ends = boundaries.tolist() + [n]
-
+    n = len(scan.la)
     hits = np.zeros(n, dtype=bool)
     victim_dirty = np.zeros(n, dtype=bool)
 
-    la_list = la.tolist()
-    w_list = is_write.tolist()
-    t_list = temporal.tolist()
-    order_list = order.tolist()
+    la_list = scan.la.tolist()
+    w_list = scan.is_write.tolist()
+    t_list = scan.temporal.tolist()
+    order_list = scan.order.tolist()
+    set_s = scan.set_s
 
-    for lo, hi in zip(starts, ends):
+    for lo, hi in zip(scan.starts.tolist(), scan.ends.tolist()):
         entries = sets_state[int(set_s[lo])]
         for j in range(lo, hi):
             index = order_list[j]
@@ -855,6 +902,26 @@ def _functional_assoc_chunk(
                     victim_dirty[index] = victim[1]
                 entries.insert(0, [line, w_list[index], t_list[index]])
     return hits, victim_dirty
+
+
+def _functional_assoc_chunk(
+    la: np.ndarray,
+    sets: np.ndarray,
+    is_write: np.ndarray,
+    temporal: np.ndarray,
+    ways: int,
+    temporal_priority: bool,
+    sets_state: List[List[List]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One chunk of the per-set LRU loop over persistent set state.
+
+    Composed of the carry-free :func:`_assoc_chunk_scan` and the
+    sequential :func:`_assoc_apply_carry` — the seam the pipelined
+    streaming engine (:mod:`repro.stream.pipeline`) splits across
+    processes, so the serial path exercises the same two halves.
+    """
+    scan = _assoc_chunk_scan(la, sets, is_write, temporal)
+    return _assoc_apply_carry(scan, ways, temporal_priority, sets_state)
 
 
 def _chunk_timing(

@@ -1,0 +1,19 @@
+"""Force-build the native kernel library and print its cache path
+(``make native``)."""
+
+import sys
+
+from .build import ensure_library
+
+
+def main() -> int:
+    path, diagnostic = ensure_library(force=True)
+    if path is None:
+        print(f"error: {diagnostic}", file=sys.stderr)
+        return 1
+    print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

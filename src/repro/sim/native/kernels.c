@@ -1,0 +1,276 @@
+/* Native simulation kernels (the "native" engine tier).
+ *
+ * One serial pass per trace chunk over the standard-cache hot loops:
+ * the direct-mapped / k-way LRU functional walk fused with the exact
+ * write-buffer/timing recurrence of repro/sim/fast.py.  The caller
+ * (repro.sim.native.runner) owns every array; this file holds no
+ * global state, so one loaded library serves any number of concurrent
+ * simulations with distinct state blocks.
+ *
+ * Bit-exactness contract
+ * ----------------------
+ * The loop reproduces, reference for reference, the recurrence the
+ * vectorized fast engine evaluates in batch:
+ *
+ *   wait_i  = max(0, H - gap_i)            (0 for the very first ref)
+ *   delta_i = max(gap_i, H) + (P - H if the previous ref missed)
+ *   cur     = cur + delta_i                (then += its own WB stall)
+ *   cycles += wait_i + stall_i + (H if hit else P)
+ *
+ * `cur` here equals fast.py's `base_start[i] + offset-so-far`: pushes
+ * happen only at misses, and each push is replayed at the pre-stall
+ * start of its access, so folding stalls into the running clock the
+ * moment they occur yields the identical push times, stalls, ready_at
+ * and bus_free_at as the two-phase prefix-sum + replay formulation --
+ * including the write buffer's final ring contents, because with
+ * penalty >= drain every push finds the ring empty (the closed form
+ * fast.py uses) and the generic replay below reduces to the same
+ * single draining entry.
+ *
+ * Carry registers (regs, int64[16]) -- persists across chunk calls:
+ *   0 FIRST      1 until the first reference has been processed
+ *   1 CUR        absolute start+stalls of the last reference
+ *   2 PREV_MISS  outcome of the last reference
+ *   3 WB_LEN     live write-buffer entries in the ring
+ *   4 WB_HEAD    ring head index
+ *   5 WB_PUSHES  cumulative pushes
+ *   6 WB_STALL   cumulative stall cycles
+ *   7 READY      model._ready_at
+ *   8 BUS        model._bus_free_at (last miss's pre-stall start + P)
+ *   9 LAST_HIT   outcome of the last reference (for last_fetch)
+ *  10 LAST_LA    line address of the last reference
+ *
+ * Per-call outputs (out, int64[4]): hits, cycles, stalls, pushes.
+ */
+
+#include <stdint.h>
+
+#define R_FIRST 0
+#define R_CUR 1
+#define R_PREV_MISS 2
+#define R_WB_LEN 3
+#define R_WB_HEAD 4
+#define R_WB_PUSHES 5
+#define R_WB_STALL 6
+#define R_READY 7
+#define R_BUS 8
+#define R_LAST_HIT 9
+#define R_LAST_LA 10
+
+#define O_HITS 0
+#define O_CYCLES 1
+#define O_STALLS 2
+#define O_PUSHES 3
+
+/* Exact replica of WriteBuffer.push (repro/sim/write_buffer.py) over a
+ * circular completion-time ring of capacity `cap`.  Returns the
+ * processor stall; entries == 0 is handled by the caller (the ring is
+ * never touched and the stall is the full drain). */
+static int64_t wb_push(int64_t now, int64_t entries, int64_t drain,
+                       int64_t *ring, int64_t cap,
+                       int64_t *len, int64_t *head) {
+    int64_t stall = 0;
+    /* advance: retire entries whose drain finished by `now`. */
+    while (*len > 0 && ring[*head] <= now) {
+        *head = (*head + 1) % cap;
+        (*len)--;
+    }
+    if (*len >= entries) {
+        /* Full: wait for the oldest entry to drain, freeing one slot. */
+        stall = ring[*head] - now;
+        *head = (*head + 1) % cap;
+        (*len)--;
+        now += stall;
+    }
+    {
+        int64_t start = now;
+        if (*len > 0) {
+            int64_t tail = ring[(*head + *len - 1) % cap];
+            if (tail > start)
+                start = tail;
+        }
+        ring[(*head + *len) % cap] = start + drain;
+        (*len)++;
+    }
+    return stall;
+}
+
+/* One chunk of the fused functional + timing walk.
+ *
+ * Direct-mapped (ways == 1): `tags`/`dirty`/`tbits` are per-set
+ * columns of length n_sets and `set_count` is unused (may be NULL).
+ * Set-associative: they are flat MRU-first columns of length
+ * n_sets * ways and `set_count[s]` holds set s's live entry count.
+ *
+ * `hits_out` (uint8) and `stalls_out` (int64), when non-NULL, receive
+ * per-reference outcomes for telemetry reconstruction.  Returns 0.
+ */
+int64_t repro_sim_chunk(
+    int64_t n,
+    const int64_t *addresses,
+    const uint8_t *is_write,
+    const uint8_t *temporal,
+    const int64_t *gaps,
+    int64_t line_shift,
+    int64_t n_sets,
+    int64_t ways,
+    int64_t temporal_priority,
+    int64_t hit_time,
+    int64_t penalty,
+    int64_t wb_entries,
+    int64_t wb_drain,
+    int64_t *tags,
+    uint8_t *dirty,
+    uint8_t *tbits,
+    int64_t *set_count,
+    int64_t *wb_ring,
+    int64_t *regs,
+    int64_t *out,
+    uint8_t *hits_out,
+    int64_t *stalls_out) {
+    int64_t first = regs[R_FIRST];
+    int64_t cur = regs[R_CUR];
+    int64_t prev_miss = regs[R_PREV_MISS];
+    int64_t wb_len = regs[R_WB_LEN];
+    int64_t wb_head = regs[R_WB_HEAD];
+    int64_t wb_cap = wb_entries > 0 ? wb_entries : 1;
+    int64_t cycles = 0, stalls = 0, hits_n = 0, pushes_n = 0;
+    /* Power-of-two set counts (the common case) use a mask instead of
+     * a 64-bit divide in the hot loop. */
+    int64_t pow2 = (n_sets & (n_sets - 1)) == 0;
+    int64_t set_mask = n_sets - 1;
+    int64_t i;
+
+    for (i = 0; i < n; i++) {
+        int64_t g = gaps[i];
+        int64_t la = addresses[i] >> line_shift;
+        int64_t set = pow2 ? (la & set_mask) : (la % n_sets);
+        uint8_t w = is_write[i];
+        uint8_t t = temporal[i];
+        int64_t wait, delta, stall = 0, service;
+        int hit, vd = 0;
+
+        if (first) {
+            wait = 0;
+            delta = g;
+            first = 0;
+        } else {
+            wait = hit_time - g;
+            if (wait < 0)
+                wait = 0;
+            delta = g > hit_time ? g : hit_time;
+            if (prev_miss)
+                delta += penalty - hit_time;
+        }
+        cur += delta;
+
+        if (ways == 1) {
+            if (tags[set] == la) {
+                hit = 1;
+                dirty[set] |= w;
+                tbits[set] |= t;
+            } else {
+                hit = 0;
+                vd = tags[set] != -1 && dirty[set];
+                tags[set] = la;
+                dirty[set] = w;
+                tbits[set] = t;
+            }
+        } else {
+            int64_t base = set * ways;
+            int64_t cnt = set_count[set];
+            int64_t pos = -1, k, j;
+            for (k = 0; k < cnt; k++) {
+                if (tags[base + k] == la) {
+                    pos = k;
+                    break;
+                }
+            }
+            if (pos >= 0) {
+                uint8_t d = dirty[base + pos];
+                uint8_t tb = tbits[base + pos];
+                for (j = pos; j > 0; j--) {
+                    tags[base + j] = tags[base + j - 1];
+                    dirty[base + j] = dirty[base + j - 1];
+                    tbits[base + j] = tbits[base + j - 1];
+                }
+                tags[base] = la;
+                dirty[base] = d | w;
+                tbits[base] = tb | t;
+                hit = 1;
+            } else {
+                hit = 0;
+                if (cnt >= ways) {
+                    int64_t vic = cnt - 1;
+                    if (temporal_priority) {
+                        for (k = cnt - 1; k >= 0; k--) {
+                            if (!tbits[base + k]) {
+                                vic = k;
+                                break;
+                            }
+                        }
+                    }
+                    vd = dirty[base + vic];
+                    for (j = vic; j > 0; j--) {
+                        tags[base + j] = tags[base + j - 1];
+                        dirty[base + j] = dirty[base + j - 1];
+                        tbits[base + j] = tbits[base + j - 1];
+                    }
+                } else {
+                    for (j = cnt; j > 0; j--) {
+                        tags[base + j] = tags[base + j - 1];
+                        dirty[base + j] = dirty[base + j - 1];
+                        tbits[base + j] = tbits[base + j - 1];
+                    }
+                    set_count[set] = cnt + 1;
+                }
+                tags[base] = la;
+                dirty[base] = w;
+                tbits[base] = t;
+            }
+        }
+
+        if (hit) {
+            hits_n++;
+            service = hit_time;
+        } else {
+            /* The fetch is requested before the victim drains, so the
+             * bus milestone excludes this access's own push stall. */
+            regs[R_BUS] = cur + penalty;
+            if (vd) {
+                pushes_n++;
+                if (wb_entries == 0) {
+                    stall = wb_drain;
+                } else {
+                    stall = wb_push(cur, wb_entries, wb_drain,
+                                    wb_ring, wb_cap, &wb_len, &wb_head);
+                }
+                cur += stall;
+                stalls += stall;
+            }
+            service = penalty;
+        }
+        cycles += wait + stall + service;
+        regs[R_READY] = cur + service;
+        prev_miss = !hit;
+        if (hits_out)
+            hits_out[i] = (uint8_t)hit;
+        if (stalls_out)
+            stalls_out[i] = stall;
+        regs[R_LAST_HIT] = hit;
+        regs[R_LAST_LA] = la;
+    }
+
+    regs[R_FIRST] = first;
+    regs[R_CUR] = cur;
+    regs[R_PREV_MISS] = prev_miss;
+    regs[R_WB_LEN] = wb_len;
+    regs[R_WB_HEAD] = wb_head;
+    regs[R_WB_PUSHES] += pushes_n;
+    regs[R_WB_STALL] += stalls;
+    out[O_HITS] += hits_n;
+    out[O_CYCLES] += cycles;
+    out[O_STALLS] += stalls;
+    out[O_PUSHES] += pushes_n;
+    return 0;
+}

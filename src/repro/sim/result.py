@@ -30,10 +30,12 @@ class SimResult:
     #: is excluded from equality; it exists for observability and for
     #: the result-cache fingerprint (fast/reference cells never alias).
     engine: str = field(default="", compare=False)
-    #: When ``engine=auto`` fell back to the reference loop, the
-    #: structured :class:`~repro.sim.engine.EngineRefusal` (stable
-    #: ``.code`` + human message) explaining why; ``None`` when the
-    #: fast engine ran or the caller pinned ``engine="reference"``.
+    #: When ``engine=auto`` passed over a higher tier — the reference
+    #: loop ran instead of fast, or the fast tier served because the
+    #: native one refused (``native-assisted`` / ``native-unavailable``)
+    #: — the structured :class:`~repro.sim.engine.EngineRefusal`
+    #: (stable ``.code`` + human message) explaining why; ``None`` when
+    #: the top tier ran or the caller pinned the engine.
     #: Observability only — excluded from equality like ``engine``.
     engine_refusal: Optional["EngineRefusal"] = field(
         default=None, compare=False

@@ -9,10 +9,11 @@ Everything upstream of them is per-chunk pure — and that is where the
 time goes (store read, fingerprint verify, zlib decode, the stable
 argsort and the group-by scan).
 
-This module splits the direct-mapped kernel at exactly that seam
-(:func:`repro.sim.fast._dm_chunk_scan` / ``_dm_apply_carry`` — the
-serial path composes the same two halves, so every existing parity test
-exercises the split):
+This module splits the batch kernels at exactly that seam
+(:func:`repro.sim.fast._dm_chunk_scan` / ``_dm_apply_carry`` for
+direct-mapped geometries, ``_assoc_chunk_scan`` / ``_assoc_apply_carry``
+for k-way LRU — the serial path composes the same two halves, so every
+existing parity test exercises the split):
 
 .. code-block:: text
 
@@ -42,7 +43,10 @@ identical carry/timing code the serial path uses — so counters, final
 model state and per-reference telemetry are bit-identical to the serial
 engines for every accepted config.  :func:`pipeline_refusal` mirrors
 ``fast_refusal``: configurations whose kernels have no carry-free half
-(assisted models, set-associative geometries) refuse with stable codes.
+(the assisted models, whose walkers are event-sequential) refuse with
+the stable ``pipeline-assisted`` code.  (Set-associative plain
+write-back configs used to refuse as ``pipeline-assoc``; their scan is
+now split like the direct-mapped one and the code is retired.)
 
 ``REPRO_PIPELINE_WORKERS`` supplies the ambient worker count
 (:func:`resolve_workers` mirrors ``resolve_jobs``); a worker raising or
@@ -121,10 +125,9 @@ def pipeline_refusal(model, reset: bool = True, warmup_refs: int = 0):
 
     Strictly stricter than :func:`repro.sim.engine.fast_refusal`: any
     fast-engine refusal applies verbatim, and on top of it the kernels
-    must have a carry-free worker half — which today means plain
-    direct-mapped write-back caches (the assisted walkers are
-    event-sequential, and the set-associative LRU loop folds carried
-    set state into every reference).
+    must have a carry-free worker half — true of every plain write-back
+    geometry (direct-mapped and k-way LRU alike), but not of the
+    assisted walkers, which are event-sequential.
     """
     from ..sim.engine import EngineRefusal, fast_refusal
     from ..sim.fast_soft import is_assisted
@@ -137,11 +140,6 @@ def pipeline_refusal(model, reset: bool = True, warmup_refs: int = 0):
             "pipeline-assisted",
             "assisted configurations walk assist events sequentially",
         )
-    if model.geometry.ways != 1:
-        return EngineRefusal(
-            "pipeline-assoc",
-            "set-associative LRU has no carry-free chunk scan",
-        )
     return None
 
 
@@ -149,14 +147,15 @@ def pipeline_refusal(model, reset: bool = True, warmup_refs: int = 0):
 # Worker side
 # ----------------------------------------------------------------------
 
-def _chunk_payload(stream, index, line_shift, n_sets, probed):
+def _chunk_payload(stream, index, line_shift, n_sets, ways, probed):
     """Everything the main loop needs about one chunk, carry-free.
 
     Runs on a worker: pages the chunk in (store read + verify + decode)
-    and performs the stable sort and group-by scan.  The payload is a
-    plain picklable dict of numpy arrays.
+    and performs the stable sort and the geometry's group-by scan
+    (direct-mapped or set-associative).  The payload is a plain
+    picklable dict of numpy arrays.
     """
-    from ..sim.fast import _dm_chunk_scan
+    from ..sim.fast import _assoc_chunk_scan, _dm_chunk_scan
 
     chunk = stream.chunk(index)
     n = len(chunk)
@@ -164,9 +163,14 @@ def _chunk_payload(stream, index, line_shift, n_sets, probed):
         return {"n": 0}
     la = chunk.addresses >> line_shift
     sets = la % n_sets
+    scan = (
+        _dm_chunk_scan(la, sets, chunk.is_write, chunk.temporal)
+        if ways == 1
+        else _assoc_chunk_scan(la, sets, chunk.is_write, chunk.temporal)
+    )
     payload = {
         "n": n,
-        "scan": _dm_chunk_scan(la, sets, chunk.is_write, chunk.temporal),
+        "scan": scan,
         "gaps": chunk.gaps,
         "tail_la": int(la[-1]),
     }
@@ -188,7 +192,7 @@ def _attach_slab(name):
 
 
 def _worker_loop(
-    stream, line_shift, n_sets, probed,
+    stream, line_shift, n_sets, ways, probed,
     task_queue, result_queue, slab_queue, slab_bytes,
 ):
     """Worker process body: pull chunk indices until the sentinel.
@@ -207,7 +211,7 @@ def _worker_loop(
             slab_name = None
             try:
                 payload = _chunk_payload(
-                    stream, index, line_shift, n_sets, probed
+                    stream, index, line_shift, n_sets, ways, probed
                 )
                 blob = pickle.dumps(
                     payload, protocol=pickle.HIGHEST_PROTOCOL
@@ -259,7 +263,7 @@ def _slab_pool(n_slabs, slab_bytes):
 
 
 def _iter_payloads(
-    stream, line_shift, n_sets, probed, workers
+    stream, line_shift, n_sets, ways, probed, workers
 ):
     """Yield per-chunk payload dicts in strict trace order.
 
@@ -304,7 +308,7 @@ def _iter_payloads(
         ctx.Process(
             target=_worker_loop,
             args=(
-                stream, line_shift, n_sets, probed,
+                stream, line_shift, n_sets, ways, probed,
                 task_queue, result_queue, slab_queue, slab_bytes,
             ),
             daemon=True,
@@ -374,14 +378,15 @@ def simulate_pipeline(model, stream, workers: int, probes=None):
     """Run a stream through the pipelined fast engine.
 
     The caller (``driver.simulate_stream``) has already checked
-    :func:`pipeline_refusal`; ``model`` is a cold direct-mapped
-    write-back cache.  Counters, final model state and telemetry are
-    bit-identical to :func:`repro.sim.fast.simulate_fast_stream` — the
-    sequential consumption below *is* that function's loop, with the
-    carry-free half of each chunk farmed out.
+    :func:`pipeline_refusal`; ``model`` is a cold plain write-back
+    cache, direct-mapped or k-way LRU.  Counters, final model state and
+    telemetry are bit-identical to :func:`repro.sim.fast
+    .simulate_fast_stream` — the sequential consumption below *is* that
+    function's loop, with the carry-free half of each chunk farmed out.
     """
     from ..sim.fast import (
-        _chunk_timing, _dm_apply_carry, _per_ref_cycles,
+        _assoc_apply_carry, _chunk_timing, _dm_apply_carry,
+        _per_ref_cycles,
     )
     from ..sim.write_buffer import WriteBuffer
 
@@ -393,15 +398,18 @@ def simulate_pipeline(model, stream, workers: int, probes=None):
     geometry = model.geometry
     timing = model.timing
     n_sets = geometry.n_sets
+    ways = geometry.ways
     line_shift = geometry.line_shift
     hit_time = timing.hit_time
     penalty = timing.latency + timing.transfer_cycles(geometry.line_size)
     words_per_line = geometry.line_size // 8
     tracks_temporal = model._entry_has_temporal
+    temporal_priority = bool(getattr(model, "_temporal_priority", False))
 
     tags = np.full(n_sets, -1, dtype=np.int64)
     dirty = np.zeros(n_sets, dtype=bool)
     temporal_bits = np.zeros(n_sets, dtype=bool)
+    sets_state = [[] for _ in range(n_sets)] if ways != 1 else None
 
     write_buffer = WriteBuffer(
         model.write_buffer.entries, model.write_buffer.drain_cycles
@@ -420,15 +428,20 @@ def simulate_pipeline(model, stream, workers: int, probes=None):
     last_la = 0
 
     for payload in _iter_payloads(
-        stream, line_shift, n_sets, probes is not None, workers
+        stream, line_shift, n_sets, ways, probes is not None, workers
     ):
         n = payload["n"]
         if n == 0:
             continue
         gaps = payload["gaps"]
-        hits, victim_dirty = _dm_apply_carry(
-            payload["scan"], tags, dirty, temporal_bits
-        )
+        if ways == 1:
+            hits, victim_dirty = _dm_apply_carry(
+                payload["scan"], tags, dirty, temporal_bits
+            )
+        else:
+            hits, victim_dirty = _assoc_apply_carry(
+                payload["scan"], ways, temporal_priority, sets_state
+            )
         per_ref_stalls = (
             np.zeros(n, dtype=np.int64) if probes is not None else None
         )
@@ -495,10 +508,19 @@ def simulate_pipeline(model, stream, workers: int, probes=None):
         model._bus_free_at = bus_free_at
     if refs:
         model.last_fetch = [] if last_hit else [last_la]
-    model._tags = tags.tolist()
-    model._dirty = dirty.tolist()
-    if tracks_temporal:
-        model._temporal = temporal_bits.tolist()
+    if ways == 1:
+        model._tags = tags.tolist()
+        model._dirty = dirty.tolist()
+        if tracks_temporal:
+            model._temporal = temporal_bits.tolist()
+    else:
+        model._sets = [
+            [
+                entry if tracks_temporal else entry[:2]
+                for entry in entries
+            ]
+            for entries in sets_state
+        ]
     stats.check()
     if probes is not None:
         probes.finish(stats)

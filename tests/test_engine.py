@@ -1,4 +1,4 @@
-"""Two-tier engine selection and fast/reference parity.
+"""Engine-ladder selection and fast/reference parity.
 
 The fast engine's contract is *exactness*: for every configuration it
 accepts, every counter (and the final model state) must be identical to
@@ -31,7 +31,7 @@ from repro.sim import (
     select_engine,
     simulate,
 )
-from repro.sim.engine import PARITY_FIELDS, fast_refusal
+from repro.sim.engine import PARITY_FIELDS, fast_refusal, native_refusal
 
 from conftest import make_trace
 
@@ -183,13 +183,21 @@ class TestSelection:
         with pytest.raises(ConfigError):
             resolve_engine("warp")
 
-    def test_auto_picks_fast_when_provable(self):
-        assert select_engine("auto", standard())[0] == "fast"
-        assert select_engine("auto", plain_soft())[0] == "fast"
+    def test_auto_picks_top_available_tier(self):
+        """Plain write-back configs never fall to reference: native when
+        the compiled kernels are loadable, else fast."""
+        for build in (standard, plain_soft):
+            expected = (
+                "native" if native_refusal(build()) is None else "fast"
+            )
+            assert select_engine("auto", build())[0] == expected
 
     def test_engine_recorded_in_result(self):
         trace = random_trace(0)
-        assert simulate(standard(), trace).engine == "fast"
+        expected = (
+            "native" if native_refusal(standard()) is None else "fast"
+        )
+        assert simulate(standard(), trace).engine == expected
         assert simulate(standard(), trace, engine="reference").engine == (
             "reference"
         )

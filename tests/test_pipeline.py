@@ -54,8 +54,8 @@ def random_trace(seed, refs=3000, lines=256, write_ratio=0.3):
     )
 
 
-def build_standard():
-    return StandardCache(CacheGeometry(1024, 32), TIMING)
+def build_standard(ways=1):
+    return StandardCache(CacheGeometry(1024, 32, ways=ways), TIMING)
 
 
 def assert_parity(reference, pipelined):
@@ -110,16 +110,19 @@ def assert_telemetry_equal(serial, pipelined):
 # ----------------------------------------------------------------------
 
 class TestPipelineParity:
+    @pytest.mark.parametrize("ways", [1, 2, 4])
     @pytest.mark.parametrize("workers", [2, 3])
     @pytest.mark.parametrize("chunk_refs", [1, 37, 509, 3000])
-    def test_counters_and_state(self, workers, chunk_refs):
+    def test_counters_and_state(self, workers, chunk_refs, ways):
         trace = random_trace(40, refs=3000)
-        m_serial = build_standard()
+        m_serial = build_standard(ways=ways)
         serial = simulate_stream(
-            m_serial, TraceStream.from_trace(trace, chunk_refs=chunk_refs)
+            m_serial,
+            TraceStream.from_trace(trace, chunk_refs=chunk_refs),
+            engine="fast",
         )
         assert serial.engine == "fast"
-        m_pipe = build_standard()
+        m_pipe = build_standard(ways=ways)
         pipelined = simulate_stream(
             m_pipe, TraceStream.from_trace(trace, chunk_refs=chunk_refs),
             workers=workers,
@@ -261,14 +264,18 @@ class TestPipelineRefusal:
         reason = pipeline_refusal(preset_spec("soft").build())
         assert reason.code == "pipeline-assisted"
 
-    def test_set_associative_refused(self):
+    def test_set_associative_accepted(self):
+        # ways != 1 used to refuse as "pipeline-assoc"; the LRU scan is
+        # now split like the direct-mapped one, and the code is retired.
         model = StandardCache(CacheGeometry(2048, 32, ways=2), TIMING)
-        reason = pipeline_refusal(model)
-        assert reason.code == "pipeline-assoc"
+        assert pipeline_refusal(model) is None
+        from repro.sim.engine import EngineRefusal
 
-    def test_assisted_wins_over_assoc(self):
-        # temporal-priority is both assisted and 2-way: the assisted
-        # refusal (checked first) is the one reported.
+        assert "pipeline-assoc" not in EngineRefusal.CODES
+
+    def test_assisted_refusal_covers_assoc_assisted(self):
+        # temporal-priority is assisted *and* 2-way: with the assoc
+        # refusal retired, the assisted refusal is what remains.
         reason = pipeline_refusal(preset_spec("temporal-priority").build())
         assert reason.code == "pipeline-assisted"
 
@@ -333,11 +340,11 @@ class TestPipelineRefusal:
 # Failure propagation
 # ----------------------------------------------------------------------
 
-def _boom(stream, index, line_shift, n_sets, probed):
+def _boom(stream, index, line_shift, n_sets, ways, probed):
     raise RuntimeError(f"synthetic failure on chunk {index}")
 
 
-def _die(stream, index, line_shift, n_sets, probed):
+def _die(stream, index, line_shift, n_sets, ways, probed):
     os._exit(3)
 
 

@@ -232,7 +232,10 @@ class TestSelectionRegression:
         assert fast_refusal(presets.build_config(preset)) is None
         result = simulate(presets.build_config(preset), soft_trace(0))
         assert result.engine == "fast"
-        assert result.engine_refusal is None
+        # The assisted family stays one rung below the native tier; the
+        # passed-over rung's refusal is recorded for observability.
+        assert result.engine_refusal is not None
+        assert result.engine_refusal.code == "native-assisted"
 
     def test_prefetch_still_refuses(self):
         refusal = fast_refusal(presets.build_config("soft-prefetch"))
