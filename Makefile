@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-serial lint bench bench-sim bench-native native trace-demo analyze-demo figures clean-cache
+.PHONY: test test-serial lint bench bench-sim bench-native bench-serve native serve-smoke trace-demo analyze-demo figures clean-cache
 
 # Tier-1: the unit/integration/property suite.  REPRO_JOBS=2 keeps the
 # process-pool path (and spec pickling) exercised on every run;
@@ -38,6 +38,18 @@ native:
 # standard configs, plus the native refusal matrix and toolchain.
 bench-native:
 	$(PYTHON) -m repro bench --scenario native --out BENCH_native.json
+
+# Serving-layer closed-loop benchmark (p50/p99 latency, hit-serving
+# throughput at a ~95% hit mix).  Writes BENCH_serve.json — its own
+# artifact, separate from BENCH_sim.json.  See docs/serve.md.
+bench-serve:
+	$(PYTHON) -m repro bench --scenario serve --serve-out BENCH_serve.json
+
+# End-to-end self-test of `repro serve`: start a server, submit a
+# small sweep twice, assert the second pass is all hot/disk hits with
+# zero re-simulations.
+serve-smoke:
+	$(PYTHON) -m repro serve --smoke
 
 # External-trace pipeline end to end: import the bundled dinero sample
 # into a chunked v2 store (with dynamic tag annotation), inspect it,

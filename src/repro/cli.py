@@ -24,9 +24,14 @@ analyze
     compiler-tag audit.  ``--out DIR`` writes JSON/JSONL/CSV artifacts.
 cache
     Inspect, clear or LRU-prune the on-disk result cache.
+serve
+    Run the async simulation service: an HTTP/JSON API over a two-tier
+    concurrent result store with request coalescing and backpressure
+    (``--smoke`` runs the end-to-end self-test and exits).
 bench
-    Measure simulation throughput per engine, streaming overhead and
-    telemetry probe overhead (writes BENCH_sim.json).
+    Measure simulation throughput per engine, streaming overhead,
+    telemetry probe overhead (writes BENCH_sim.json) and the serving
+    layer's closed-loop latency/throughput (writes BENCH_serve.json).
 """
 
 from __future__ import annotations
@@ -152,7 +157,7 @@ def _parser() -> argparse.ArgumentParser:
         "--scenario",
         choices=(
             "engine", "soft", "native", "stream", "pipeline", "probes",
-            "all",
+            "serve", "all",
         ),
         default="engine",
         help="'engine' = per-engine throughput, 'soft' = assisted-path "
@@ -160,8 +165,11 @@ def _parser() -> argparse.ArgumentParser:
         "C tier vs fast and reference, 'stream' = streamed vs "
         "in-memory throughput and peak memory, 'pipeline' = "
         "multi-process pipelined streaming vs serial, 'probes' = "
-        "telemetry overhead with probes off and on, 'all' = everything "
-        "(default engine)",
+        "telemetry overhead with probes off and on, 'serve' = "
+        "closed-loop latency/throughput of the repro-serve HTTP API "
+        "(writes BENCH_serve.json, not BENCH_sim.json), 'all' = every "
+        "simulation scenario (serve has its own CI job and is NOT part "
+        "of 'all') (default engine)",
     )
     bench.add_argument(
         "--min-soft-speedup", type=float, default=None, metavar="X",
@@ -195,6 +203,38 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--chunk-refs", type=int, default=1 << 18, metavar="N",
         help="store chunk size for the stream scenario (default 262144)",
+    )
+    bench.add_argument(
+        "--serve-requests", type=int, default=None, metavar="N",
+        help="total closed-loop requests for the serve scenario "
+        "(default 2000)",
+    )
+    bench.add_argument(
+        "--serve-concurrency", type=int, default=None, metavar="C",
+        help="closed-loop client connections for the serve scenario "
+        "(default 8)",
+    )
+    bench.add_argument(
+        "--serve-hit-ratio", type=float, default=None, metavar="R",
+        help="fraction of serve-scenario requests aimed at warm cells "
+        "(default 0.95 — the millions-of-users regime)",
+    )
+    bench.add_argument(
+        "--min-serve-hit-rps", type=float, default=None, metavar="X",
+        help="fail (exit 1) if serve-scenario cache-hit throughput "
+        "falls below X requests/s (CI guard; implies the serve "
+        "scenario ran; degrades to a completed-run check on 1-CPU "
+        "machines, where server and clients share a core)",
+    )
+    bench.add_argument(
+        "--max-serve-p99-ms", type=float, default=None, metavar="MS",
+        help="fail (exit 1) if the serve-scenario hit-path p99 latency "
+        "exceeds MS milliseconds (skipped on 1-CPU machines)",
+    )
+    bench.add_argument(
+        "--serve-out", default="BENCH_serve.json",
+        help="serve-scenario output JSON path (default BENCH_serve.json; "
+        "'-' = stdout only)",
     )
 
     tags = sub.add_parser("tags", help="show compiler locality tags")
@@ -295,6 +335,53 @@ def _parser() -> argparse.ArgumentParser:
         help="also write report.json / telemetry.jsonl / windows.csv",
     )
     _add_engine_argument(analyze)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async simulation service (HTTP/JSON API over a "
+        "two-tier concurrent result store; see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8714,
+        help="listen port (0 = ephemeral; default 8714)",
+    )
+    serve.add_argument(
+        "--sets", type=int, default=None, metavar="N",
+        help="hot-tier sets (default 512)",
+    )
+    serve.add_argument(
+        "--ways", type=int, default=None, metavar="K",
+        help="hot-tier associativity (default 8; sets x ways results "
+        "stay resident in memory, lossily)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="max concurrently-admitted distinct simulations before "
+        "submissions are rejected with 429 (default 64)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="simulation worker processes (0 = all cores; default: "
+        "$REPRO_JOBS or 1)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="durable result-cache directory (default: the shared "
+        "result cache, $REPRO_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="memory-only server: no durable tier (hot tier only)",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="end-to-end self-test: start on an ephemeral port with a "
+        "throwaway cache, submit a small sweep twice, assert the "
+        "second pass is all hot/disk hits with zero re-simulations, "
+        "then exit 0/1",
+    )
+    _add_engine_argument(serve)
 
     cache = sub.add_parser(
         "cache", help="inspect, clear or prune the result cache"
@@ -502,14 +589,24 @@ def _cmd_bench(
     min_assoc_soft_speedup: Optional[float] = None,
     min_pipeline_speedup: Optional[float] = None,
     min_native_speedup: Optional[float] = None,
+    serve_requests: Optional[int] = None,
+    serve_concurrency: Optional[int] = None,
+    serve_hit_ratio: Optional[float] = None,
+    min_serve_hit_rps: Optional[float] = None,
+    max_serve_p99_ms: Optional[float] = None,
+    serve_out: str = "BENCH_serve.json",
 ) -> int:
     from .harness.bench import (
         DEFAULT_REFS,
+        DEFAULT_SERVE_CONCURRENCY,
+        DEFAULT_SERVE_HIT_RATIO,
+        DEFAULT_SERVE_REQUESTS,
         DEFAULT_STREAM_REFS,
         format_bench,
         format_native_bench,
         format_pipeline_bench,
         format_probe_bench,
+        format_serve_bench,
         format_soft_bench,
         format_stream_bench,
         native_bench_guard,
@@ -518,8 +615,10 @@ def _cmd_bench(
         run_native_bench,
         run_pipeline_bench,
         run_probe_bench,
+        run_serve_bench,
         run_soft_bench,
         run_stream_bench,
+        serve_bench_guard,
         soft_bench_guard,
         write_bench,
     )
@@ -576,13 +675,71 @@ def _cmd_bench(
         )
         print(format_probe_bench(probe_payload))
         payload["probes"] = probe_payload
-    if out != "-":
+    if scenario == "serve" or min_serve_hit_rps is not None:
+        serve_payload = run_serve_bench(
+            requests=serve_requests or DEFAULT_SERVE_REQUESTS,
+            concurrency=serve_concurrency or DEFAULT_SERVE_CONCURRENCY,
+            hit_ratio=(
+                serve_hit_ratio
+                if serve_hit_ratio is not None
+                else DEFAULT_SERVE_HIT_RATIO
+            ),
+        )
+        print(format_serve_bench(serve_payload))
+        if min_serve_hit_rps is not None or max_serve_p99_ms is not None:
+            guard_problems.extend(
+                serve_bench_guard(
+                    serve_payload,
+                    min_hit_rps=min_serve_hit_rps,
+                    max_p99_ms=max_serve_p99_ms,
+                )
+            )
+        if serve_out != "-":
+            write_bench({"serve": serve_payload}, serve_out)
+            print(f"wrote {serve_out}")
+    if out != "-" and payload:
+        # payload is empty when only the serve scenario ran (it has its
+        # own artifact file); don't clobber BENCH_sim.json with {}.
         write_bench(payload, out)
         print(f"wrote {out}")
     if guard_problems:
         for problem in guard_problems:
             print(f"error: {problem}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DEFAULT_QUEUE_DEPTH, DEFAULT_SETS, DEFAULT_WAYS
+    from .serve import ServeConfig, run_server
+
+    if args.smoke:
+        from .serve.smoke import main as smoke_main
+
+        return smoke_main()
+    if args.no_cache and args.cache_dir:
+        print("error: --no-cache conflicts with --cache-dir", file=sys.stderr)
+        return 2
+    cache = "auto"
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        cache = args.cache_dir
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        sets=args.sets if args.sets is not None else DEFAULT_SETS,
+        ways=args.ways if args.ways is not None else DEFAULT_WAYS,
+        queue_depth=(
+            args.queue_depth
+            if args.queue_depth is not None
+            else DEFAULT_QUEUE_DEPTH
+        ),
+        workers=args.workers,
+        engine=args.engine,
+        cache=cache,
+    )
+    run_server(config)
     return 0
 
 
@@ -829,7 +986,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.scenario, args.stream_refs, args.chunk_refs,
                 args.min_soft_speedup, args.min_assoc_soft_speedup,
                 args.min_pipeline_speedup, args.min_native_speedup,
+                args.serve_requests, args.serve_concurrency,
+                args.serve_hit_ratio, args.min_serve_hit_rps,
+                args.max_serve_p99_ms, args.serve_out,
             )
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "tags":
             return _cmd_tags(args.benchmark, args.scale)
         if args.command == "trace":
@@ -844,7 +1006,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args.action, args.max_bytes)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        # Stable machine-readable code first (the same codes the serve
+        # API returns in its JSON error bodies), never a bare traceback.
+        print(f"error [{error.code}]: {error}", file=sys.stderr)
         return 1
     except BrokenPipeError:
         # Output piped into a pager that quit early (e.g. `| head`).

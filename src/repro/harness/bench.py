@@ -983,3 +983,254 @@ def format_soft_bench(payload: Dict) -> str:
         f"  refusal matrix: {refused if refused else 'empty (all clear)'}"
     )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Serving layer (repro serve) — closed-loop latency/throughput
+# ----------------------------------------------------------------------
+#: Closed-loop defaults modelling the millions-of-users regime: almost
+#: every request is a cache hit; the residue is unique cold cells.
+DEFAULT_SERVE_REQUESTS = 2000
+DEFAULT_SERVE_CONCURRENCY = 8
+DEFAULT_SERVE_HIT_RATIO = 0.95
+DEFAULT_SERVE_WARM_CELLS = 32
+
+
+def run_serve_bench(
+    requests: int = DEFAULT_SERVE_REQUESTS,
+    concurrency: int = DEFAULT_SERVE_CONCURRENCY,
+    hit_ratio: float = DEFAULT_SERVE_HIT_RATIO,
+    warm_cells: int = DEFAULT_SERVE_WARM_CELLS,
+    scale: str = "tiny",
+) -> Dict:
+    """Closed-loop bench of the ``repro serve`` HTTP API.
+
+    Starts a real server (background thread, ephemeral port, throwaway
+    result-cache directory), warms ``warm_cells`` distinct cells, then
+    drives ``concurrency`` persistent-connection clients issuing
+    ``requests`` total submissions: a ``hit_ratio`` fraction aimed at
+    the warm population (round-robin over a per-client PRNG), the rest
+    at never-repeated cold cells.  Records hit-path and overall
+    latency percentiles plus hit-serving throughput, and — honesty
+    fields, mirroring the pipeline bench's ``insufficient_cpus``
+    convention — the CPU count, target/observed hit ratio and client
+    concurrency, so CI floors degrade gracefully on small runners.
+    """
+    import tempfile
+    import threading
+
+    from ..serve import ServeClient, ServeConfig, ServerThread, percentile
+
+    if not 0.0 <= hit_ratio <= 1.0:
+        from ..errors import ConfigError
+
+        raise ConfigError(f"hit ratio must be in [0, 1]: {hit_ratio}")
+    cpus = _available_cpus()
+    warm = [
+        {
+            "trace": {"benchmark": "MV", "scale": scale, "seed": seed},
+            "config": "standard",
+        }
+        for seed in range(warm_cells)
+    ]
+    cold_counter = iter(range(10_000, 10_000 + requests))
+    cold_lock = threading.Lock()
+
+    def next_cold():
+        with cold_lock:
+            seed = next(cold_counter)
+        return {
+            "trace": {"benchmark": "MV", "scale": scale, "seed": seed},
+            "config": "standard",
+        }
+
+    records: List[Dict] = []
+    records_lock = threading.Lock()
+    failures: List[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        config = ServeConfig(port=0, cache=tmp, queue_depth=256)
+        with ServerThread(config) as server:
+            with ServeClient(server.host, server.port) as warmer:
+                for cell in warm:
+                    warmer.submit(cell)
+                warm_metrics = warmer.metrics()
+
+            per_client = [
+                requests // concurrency
+                + (1 if i < requests % concurrency else 0)
+                for i in range(concurrency)
+            ]
+
+            def client_loop(index: int, quota: int) -> None:
+                import random
+
+                rng = random.Random(0xC0FFEE + index)
+                try:
+                    with ServeClient(server.host, server.port) as client:
+                        for _ in range(quota):
+                            if rng.random() < hit_ratio:
+                                cell = rng.choice(warm)
+                            else:
+                                cell = next_cold()
+                            begin = time.perf_counter()
+                            out = client.submit(cell)
+                            elapsed_ms = (
+                                time.perf_counter() - begin
+                            ) * 1000.0
+                            with records_lock:
+                                records.append(
+                                    {
+                                        "ms": elapsed_ms,
+                                        "served": out["served"],
+                                    }
+                                )
+                except Exception as error:  # noqa: BLE001 - recorded
+                    failures.append(f"client {index}: {error}")
+
+            threads = [
+                threading.Thread(
+                    target=client_loop, args=(i, quota), daemon=True
+                )
+                for i, quota in enumerate(per_client)
+            ]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed_s = time.perf_counter() - begin
+
+            with ServeClient(server.host, server.port) as reporter:
+                final_metrics = reporter.metrics()
+
+    hit_tiers = ("hot", "disk")
+    hit_ms = [r["ms"] for r in records if r["served"] in hit_tiers]
+    all_ms = [r["ms"] for r in records]
+    hot_ms = [r["ms"] for r in records if r["served"] == "hot"]
+    observed_ratio = len(hit_ms) / len(records) if records else 0.0
+    payload = {
+        "requests": requests,
+        "completed": len(records),
+        "concurrency": concurrency,
+        "warm_cells": warm_cells,
+        "scale": scale,
+        "cpus": cpus,
+        "hit_ratio_target": hit_ratio,
+        "hit_ratio_observed": round(observed_ratio, 4),
+        "elapsed_s": round(elapsed_s, 3),
+        "total_rps": round(len(records) / elapsed_s, 1) if elapsed_s else 0.0,
+        "hit_rps": round(len(hit_ms) / elapsed_s, 1) if elapsed_s else 0.0,
+        "p50_ms": round(percentile(all_ms, 50), 3),
+        "p99_ms": round(percentile(all_ms, 99), 3),
+        "hit_p50_ms": round(percentile(hit_ms, 50), 3),
+        "hit_p99_ms": round(percentile(hit_ms, 99), 3),
+        "hot_p50_ms": round(percentile(hot_ms, 50), 3),
+        "served": {
+            tier: sum(1 for r in records if r["served"] == tier)
+            for tier in ("hot", "disk", "simulated", "coalesced")
+        },
+        "simulations": final_metrics["simulations"],
+        "warm_simulations": warm_metrics["simulations"],
+        "coalesced": final_metrics["coalesced"],
+        "rejected": final_metrics["rejected"],
+        "server_errors": final_metrics["errors"],
+        "client_failures": failures,
+        "store": final_metrics["store"],
+    }
+    if cpus < 2:
+        # Server loop and closed-loop clients share one core: latency
+        # measures scheduler contention, not the serving path.  Mirror
+        # the pipeline bench's honesty convention: record the fact, let
+        # the guard degrade to a completed-run check.
+        payload["insufficient_cpus"] = True
+    return payload
+
+
+def serve_bench_guard(
+    payload: Dict,
+    min_hit_rps: Optional[float] = None,
+    max_p99_ms: Optional[float] = None,
+) -> List[str]:
+    """CI guard over a serve-bench payload; returns problem strings.
+
+    Always checks integrity: every request completed, no client or
+    server errors, and the duplicate-collapsing invariant (simulations
+    never exceed warm cells + cold submissions).  Latency/throughput
+    floors apply only when the payload was not stamped
+    ``insufficient_cpus`` (1-CPU runner: clients and server share a
+    core, so wall-clock floors would gate the scheduler, not the code).
+    """
+    problems = []
+    if payload.get("client_failures"):
+        problems.append(
+            f"serve bench client failures: {payload['client_failures']}"
+        )
+    if payload.get("server_errors"):
+        problems.append(
+            f"serve bench recorded {payload['server_errors']} server errors"
+        )
+    if payload.get("completed") != payload.get("requests"):
+        problems.append(
+            f"serve bench completed {payload.get('completed')} of "
+            f"{payload.get('requests')} requests"
+        )
+    cold = payload.get("served", {}).get("simulated", 0)
+    coalesced_served = payload.get("served", {}).get("coalesced", 0)
+    budget = payload.get("warm_cells", 0) + cold + coalesced_served
+    if payload.get("simulations", 0) > budget:
+        problems.append(
+            f"serve bench simulated {payload['simulations']} cells, more "
+            f"than the {budget} distinct submissions — in-flight "
+            f"deduplication is broken"
+        )
+    if payload.get("insufficient_cpus"):
+        return problems
+    if min_hit_rps is not None and payload.get("hit_rps", 0.0) < min_hit_rps:
+        problems.append(
+            f"serve hit-serving throughput {payload.get('hit_rps')} rps "
+            f"is below the {min_hit_rps} floor"
+        )
+    if max_p99_ms is not None and payload.get("hit_p99_ms", 0.0) > max_p99_ms:
+        problems.append(
+            f"serve hit-path p99 {payload.get('hit_p99_ms')} ms exceeds "
+            f"the {max_p99_ms} ms ceiling"
+        )
+    return problems
+
+
+def format_serve_bench(payload: Dict) -> str:
+    """Human-readable rendering of a serve-bench payload."""
+    lines = [
+        f"serve closed-loop ({payload['requests']} requests, "
+        f"{payload['concurrency']} clients, "
+        f"{payload['cpus']} cpu(s), "
+        f"hit ratio {payload['hit_ratio_observed']:.2%} observed / "
+        f"{payload['hit_ratio_target']:.0%} target)"
+    ]
+    served = payload["served"]
+    lines.append(
+        f"  served: hot={served['hot']} disk={served['disk']} "
+        f"simulated={served['simulated']} coalesced={served['coalesced']}"
+    )
+    lines.append(
+        f"  latency: p50={payload['p50_ms']}ms p99={payload['p99_ms']}ms "
+        f"(hit path p50={payload['hit_p50_ms']}ms "
+        f"p99={payload['hit_p99_ms']}ms)"
+    )
+    lines.append(
+        f"  throughput: {payload['total_rps']} rps total, "
+        f"{payload['hit_rps']} rps hit-serving over "
+        f"{payload['elapsed_s']}s"
+    )
+    lines.append(
+        f"  simulations: {payload['simulations']} "
+        f"(warm {payload['warm_simulations']}), "
+        f"rejected={payload['rejected']}, errors={payload['server_errors']}"
+    )
+    if payload.get("insufficient_cpus"):
+        lines.append(
+            "  note: <2 CPUs — latency/throughput floors degraded to a "
+            "completed-run check (insufficient_cpus)"
+        )
+    return "\n".join(lines)

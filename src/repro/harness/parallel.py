@@ -121,6 +121,22 @@ class ResultCache:
     engine)``; values are the raw :class:`SimResult` counters as JSON.
     Counters are integers, so the round-trip is lossless and cached
     cells are byte-identical to freshly simulated ones.
+
+    The store is safe under concurrent multi-process use — the ``repro
+    serve`` workers, parallel sweeps and ``cache prune`` may all touch
+    it at once:
+
+    * writes stage to a ``.tmp-*`` file and publish with an atomic
+      rename, so readers never observe a torn entry and racing writers
+      of the same key last-write-win with identical bytes;
+    * a concurrently deleted entry (another process pruning) reads as a
+      miss — the caller re-simulates; never an error;
+    * entries shard into two levels of fan-out directories
+      (``key[:2]/key[2:4]/``), bounding any directory to ~256 entries
+      even at millions of cached cells, so directory scans and renames
+      stay O(1)-ish.  Entries written by older versions at the
+      single-level ``key[:2]/`` path are still found (and promoted to
+      the sharded path on first hit).
     """
 
     def __init__(self, root: Union[str, os.PathLike, None] = None) -> None:
@@ -141,6 +157,10 @@ class ResultCache:
         return hashlib.sha256(material.encode()).hexdigest()
 
     def _path(self, key: str) -> Path:
+        return self.root / key[:2] / key[2:4] / f"{key}.json"
+
+    def _legacy_path(self, key: str) -> Path:
+        # Pre-sharding layout (single fan-out level); read-only compat.
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[SimResult]:
@@ -149,8 +169,24 @@ class ResultCache:
             payload = json.loads(path.read_text())
             result = payload_to_result(payload)
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
+            # Not at the sharded path: try the legacy single-level one,
+            # promoting a hit so the next read takes the fast path.  A
+            # concurrently pruned entry lands here too and is a miss —
+            # callers re-simulate; deletion mid-read is never an error.
+            legacy = self._legacy_path(key)
+            try:
+                payload = json.loads(legacy.read_text())
+                result = payload_to_result(payload)
+            except (OSError, ValueError, KeyError, TypeError):
+                self.misses += 1
+                return None
+            self.put(key, result)
+            try:  # drop the legacy copy so the key is not counted twice
+                legacy.unlink()
+            except OSError:
+                pass
+            self.hits += 1
+            return result
         self.hits += 1
         try:
             # Refresh the mtime so prune()'s LRU order tracks *use*,
@@ -187,9 +223,11 @@ class ResultCache:
         """
         if not self.root.is_dir():
             return
-        for entry in self.root.glob("*/*.json"):
-            if not entry.name.startswith("."):
-                yield entry
+        # Both layouts: sharded (xx/yy/key.json) and legacy (xx/key.json).
+        for pattern in ("*/*/*.json", "*/*.json"):
+            for entry in self.root.glob(pattern):
+                if not entry.name.startswith("."):
+                    yield entry
 
     def clear(self) -> int:
         """Delete every cached cell; returns the number removed."""

@@ -1,0 +1,64 @@
+"""``repro serve`` — the async simulation service (see docs/serve.md).
+
+The serving subsystem turns the spec -> cache -> result pipeline into a
+long-running service: an asyncio HTTP/JSON API over a two-tier
+concurrent result store (a lossy k-way set-associative in-process hot
+tier over the durable content-addressed
+:class:`~repro.harness.parallel.ResultCache`), with in-flight request
+coalescing, bounded-queue backpressure and a process worker pool.
+
+Quick start::
+
+    from repro.serve import ServeConfig, ServerThread, ServeClient
+
+    with ServerThread(ServeConfig(port=0)) as server:
+        with ServeClient(server.host, server.port) as client:
+            out = client.submit({
+                "trace": {"benchmark": "MV", "scale": "test"},
+                "config": "soft",
+            })
+            print(out["served"], out["amat"])
+
+Or from the shell: ``python -m repro serve`` (and ``--smoke`` for the
+end-to-end self-test).
+"""
+
+from .client import ServeClient, ServeHTTPError
+from .http import ServeApp, ServerThread, run_server, serve_async
+from .service import (
+    DEFAULT_QUEUE_DEPTH,
+    JobNotDoneError,
+    QueueFullError,
+    ServeConfig,
+    ServeMetrics,
+    SimulationService,
+    UnknownJobError,
+    percentile,
+)
+from .store import (
+    DEFAULT_SETS,
+    DEFAULT_WAYS,
+    HotResultStore,
+    TieredResultStore,
+)
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_SETS",
+    "DEFAULT_WAYS",
+    "HotResultStore",
+    "JobNotDoneError",
+    "QueueFullError",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeHTTPError",
+    "ServeMetrics",
+    "ServerThread",
+    "SimulationService",
+    "TieredResultStore",
+    "UnknownJobError",
+    "percentile",
+    "run_server",
+    "serve_async",
+]

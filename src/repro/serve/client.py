@@ -1,0 +1,126 @@
+"""Stdlib HTTP client for ``repro serve`` (tests, bench, smoke).
+
+A thin keep-alive JSON wrapper over :mod:`http.client`.  One
+:class:`ServeClient` owns one persistent connection — exactly the shape
+of a closed-loop bench client — and reconnects transparently if the
+server closed the socket between requests.
+
+:class:`ServeHTTPError` carries the server's machine-readable error
+``code`` alongside the HTTP status, so callers branch on stable strings
+(``queue-full``, ``config-error``...), never on message text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+
+class ServeHTTPError(ReproError):
+    """A non-2xx response from the serve API."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """Persistent-connection JSON client for one server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request_raw(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One request; returns ``(status, decoded body)``.
+
+        Retries once on a stale keep-alive socket (server restarted or
+        closed the connection idle); never retries a live error.
+        """
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (
+                ConnectionError,
+                http.client.BadStatusLine,
+                http.client.CannotSendRequest,
+                BrokenPipeError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            decoded = {"raw": raw.decode("utf-8", "replace")}
+        return response.status, decoded
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict[str, Any]:
+        """One request; raises :class:`ServeHTTPError` on non-2xx."""
+        status, decoded = self.request_raw(method, path, payload)
+        if status >= 300:
+            error = decoded.get("error", {})
+            raise ServeHTTPError(
+                status,
+                error.get("code", "unknown"),
+                error.get("message", str(decoded)),
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoint helpers
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def submit(self, cell: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/submit", cell)
+
+    def sweep(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/sweep", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/status/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/result/{job_id}")

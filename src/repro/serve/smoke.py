@@ -1,0 +1,141 @@
+"""End-to-end self-test: ``repro serve --smoke``.
+
+Starts a real server on an ephemeral port with a throwaway result-cache
+directory, submits a small (benchmarks x configs) sweep twice over HTTP,
+and asserts the serving contract the subsystem exists for:
+
+* pass 1 simulates every cell exactly once (no duplicates);
+* pass 2 is served **entirely** from the hot/disk tiers — zero
+  re-simulations (the simulation counter does not move);
+* single-cell resubmission is a hot-tier hit that never touches disk.
+
+Exit status 0 on success, 1 with a diagnostic on any violation — which
+makes it a one-line CI job needing nothing but a Python and numpy.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List, Sequence, Tuple
+
+from .client import ServeClient
+from .http import ServerThread
+from .service import ServeConfig
+
+DEFAULT_BENCHMARKS = ("MV", "SpMV")
+DEFAULT_CONFIGS = ("standard", "soft")
+DEFAULT_SCALE = "tiny"
+
+
+def run_smoke(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    configs: Sequence[str] = DEFAULT_CONFIGS,
+    scale: str = DEFAULT_SCALE,
+) -> Tuple[bool, List[str], Dict]:
+    """Run the smoke sequence; returns ``(ok, problems, summary)``."""
+    problems: List[str] = []
+    summary: Dict = {}
+    sweep_body = {
+        "traces": [{"benchmark": name, "scale": scale} for name in benchmarks],
+        "configs": list(configs),
+        "wait": True,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        config = ServeConfig(port=0, cache=tmp)
+        with ServerThread(config) as server:
+            with ServeClient(server.host, server.port) as client:
+                health = client.healthz()
+                if health.get("status") != "ok":
+                    problems.append(f"healthz not ok: {health}")
+
+                first = client.sweep(sweep_body)
+                after_first = client.metrics()
+                second = client.sweep(sweep_body)
+                after_second = client.metrics()
+
+                total = len(benchmarks) * len(configs)
+                if first.get("status") != "done":
+                    problems.append(f"first sweep not done: {first}")
+                first_served = [c["served"] for c in first.get("cells", [])]
+                if after_first["simulations"] != total:
+                    problems.append(
+                        f"first pass should simulate each of the {total} "
+                        f"cells exactly once, simulations="
+                        f"{after_first['simulations']} (served {first_served})"
+                    )
+                second_served = [c["served"] for c in second.get("cells", [])]
+                not_cached = [
+                    tier for tier in second_served
+                    if tier not in ("hot", "disk")
+                ]
+                if not_cached:
+                    problems.append(
+                        f"second pass must be all hot/disk hits, "
+                        f"got {second_served}"
+                    )
+                resimulated = (
+                    after_second["simulations"] - after_first["simulations"]
+                )
+                if resimulated != 0:
+                    problems.append(
+                        f"second pass re-simulated {resimulated} cells "
+                        f"(must be zero)"
+                    )
+
+                # A third touch of one cell must be a pure hot hit: the
+                # disk tier's hit counter must not move.
+                disk_hits_before = after_second["store"]["disk_hits"]
+                single = client.submit(
+                    {
+                        "trace": {"benchmark": benchmarks[0], "scale": scale},
+                        "config": configs[0],
+                    }
+                )
+                final = client.metrics()
+                if single.get("served") != "hot":
+                    problems.append(
+                        f"warm single-cell resubmission should be served "
+                        f"from the hot tier, got {single.get('served')!r}"
+                    )
+                if final["store"]["disk_hits"] != disk_hits_before:
+                    problems.append(
+                        "hot-tier hit touched the disk tier "
+                        f"(disk_hits {disk_hits_before} -> "
+                        f"{final['store']['disk_hits']})"
+                    )
+
+                summary = {
+                    "cells": total,
+                    "first_pass": first_served,
+                    "second_pass": second_served,
+                    "simulations": final["simulations"],
+                    "hot_hits": final["store"]["hot_hits"],
+                    "disk_hits": final["store"]["disk_hits"],
+                    "rejected": final["rejected"],
+                    "errors": final["errors"],
+                }
+                if final["errors"]:
+                    problems.append(
+                        f"server recorded {final['errors']} errors"
+                    )
+    return not problems, problems, summary
+
+
+def main(argv=None) -> int:
+    """CLI entry: print a verdict, exit 0/1."""
+    ok, problems, summary = run_smoke()
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    if ok:
+        print(
+            "serve smoke OK: second pass served entirely from the "
+            "hot/disk tiers with zero re-simulations"
+        )
+        return 0
+    for problem in problems:
+        print(f"serve smoke FAIL: {problem}")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

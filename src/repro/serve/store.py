@@ -1,0 +1,221 @@
+"""The two-tier concurrent result store behind ``repro serve``.
+
+The serving layer's design target is the millions-of-users regime: the
+overwhelming majority of requests name a (trace, spec, engine) cell that
+has already been simulated, so the store must answer them without
+touching a simulator — and the *hot* majority of those without touching
+disk.  Two tiers:
+
+* :class:`HotResultStore` — an in-process **lossy k-way set-associative
+  table** in the spirit of "Limited Associativity Makes Concurrent
+  Software Caches a Breeze" (PAPERS.md): the key hashes to one of
+  ``sets`` fixed-size sets, each holding at most ``ways`` entries with
+  CLOCK (second-chance) eviction inside the set.  There is **no global
+  lock** — each set has its own tiny mutex guarding an at-most-``ways``
+  scan, so concurrent hits on different sets never contend and the
+  worst case is bounded by the associativity, not the table size.
+  Admission is *lossy* by design: a full set evicts; nothing is pinned;
+  correctness never depends on residency because every entry is also
+  published to the durable tier.
+
+* :class:`~repro.harness.parallel.ResultCache` — the existing
+  content-addressed on-disk cache (atomic ``mkstemp`` + ``rename``
+  publish, sharded namespace directories), shared by every server
+  process and by offline sweeps.
+
+:class:`TieredResultStore` composes the two read-through: a miss in the
+hot tier falls to disk and, on a disk hit, re-admits the entry so the
+next request is served from memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..harness.parallel import ResultCache
+from ..sim.result import SimResult
+
+#: Default geometry: 512 sets x 8 ways = 4096 resident results.  A
+#: SimResult is a few hundred bytes, so the full table is ~1-2 MB.
+DEFAULT_SETS = 512
+DEFAULT_WAYS = 8
+
+
+class HotResultStore:
+    """Lossy fixed-associativity in-process cache of finished cells.
+
+    Keys are the result-cache hex digests (any string works); values are
+    arbitrary objects (:class:`SimResult` in production).  ``get`` and
+    ``put`` are thread-safe; the critical section is one set — a scan of
+    at most ``ways`` entries — so there is no global hit-path lock.
+
+    Per-set CLOCK eviction: every resident entry has a reference bit,
+    set on hit (and on admission).  A full set sweeps its clock hand,
+    clearing bits until it finds a clear one, and replaces that victim —
+    recently-touched entries survive, cold ones go first.
+    """
+
+    def __init__(self, sets: int = DEFAULT_SETS, ways: int = DEFAULT_WAYS):
+        if sets < 1 or ways < 1:
+            raise ConfigError(
+                f"hot store needs sets >= 1 and ways >= 1, "
+                f"got sets={sets} ways={ways}"
+            )
+        self.n_sets = int(sets)
+        self.ways = int(ways)
+        #: per-set entry lists; an entry is ``[key, value, ref_bit]``.
+        self._sets: List[List[list]] = [[] for _ in range(self.n_sets)]
+        self._hands = [0] * self.n_sets
+        self._locks = [threading.Lock() for _ in range(self.n_sets)]
+        #: per-set counters [hits, misses, admissions, evictions,
+        #: updates], aggregated under the owning set lock so totals are
+        #: exact even under concurrent access.
+        self._counts = [[0, 0, 0, 0, 0] for _ in range(self.n_sets)]
+
+    # ------------------------------------------------------------------
+    def _set_index(self, key: str) -> int:
+        # crc32 is deterministic across processes and runs (unlike
+        # hash()), which keeps set-conflict behaviour testable.
+        return zlib.crc32(key.encode()) % self.n_sets
+
+    def get(self, key: str) -> Optional[object]:
+        index = self._set_index(key)
+        with self._locks[index]:
+            for entry in self._sets[index]:
+                if entry[0] == key:
+                    entry[2] = 1
+                    self._counts[index][0] += 1
+                    return entry[1]
+            self._counts[index][1] += 1
+            return None
+
+    def put(self, key: str, value: object) -> Optional[str]:
+        """Admit (or refresh) ``key``; returns the evicted key, if any."""
+        index = self._set_index(key)
+        with self._locks[index]:
+            lines = self._sets[index]
+            for entry in lines:
+                if entry[0] == key:
+                    entry[1] = value
+                    entry[2] = 1
+                    self._counts[index][4] += 1
+                    return None
+            if len(lines) < self.ways:
+                lines.append([key, value, 1])
+                self._counts[index][2] += 1
+                return None
+            # CLOCK: sweep the hand, clearing reference bits; the first
+            # clear entry is the victim.  Bounded: after one full sweep
+            # every bit is clear, so the second pass always stops.
+            hand = self._hands[index]
+            for _ in range(2 * self.ways):
+                if lines[hand][2] == 0:
+                    break
+                lines[hand][2] = 0
+                hand = (hand + 1) % self.ways
+            victim = lines[hand][0]
+            lines[hand] = [key, value, 1]
+            self._hands[index] = (hand + 1) % self.ways
+            self._counts[index][2] += 1
+            self._counts[index][3] += 1
+            return victim
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(lines) for lines in self._sets)
+
+    def clear(self) -> None:
+        for index in range(self.n_sets):
+            with self._locks[index]:
+                self._sets[index].clear()
+                self._hands[index] = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate counters (exact: summed under the set locks)."""
+        totals = [0, 0, 0, 0, 0]
+        resident = 0
+        for index in range(self.n_sets):
+            with self._locks[index]:
+                for slot, value in enumerate(self._counts[index]):
+                    totals[slot] += value
+                resident += len(self._sets[index])
+        return {
+            "sets": self.n_sets,
+            "ways": self.ways,
+            "capacity": self.n_sets * self.ways,
+            "resident": resident,
+            "hits": totals[0],
+            "misses": totals[1],
+            "admissions": totals[2],
+            "evictions": totals[3],
+            "updates": totals[4],
+        }
+
+
+class TieredResultStore:
+    """Read-through composition of the hot tier over the disk cache.
+
+    ``get`` answers from the hot tier when possible (never touching
+    disk), else reads through the durable :class:`ResultCache` and
+    re-admits the entry.  ``put`` publishes durably *first* (atomic
+    rename on disk), then admits to the hot tier — so a hot entry is
+    always backed by a published one and lossy eviction loses nothing.
+
+    ``disk`` may be ``None`` (cacheless server): the hot tier then is
+    the only memory between simulations.
+    """
+
+    def __init__(
+        self,
+        hot: Optional[HotResultStore] = None,
+        disk: Optional[ResultCache] = None,
+    ):
+        self.hot = hot if hot is not None else HotResultStore()
+        self.disk = disk
+        self._lock = threading.Lock()
+        self.hot_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Tuple[Optional[SimResult], Optional[str]]:
+        """Look up ``key``; returns ``(result, tier)`` with ``tier`` one
+        of ``"hot"``, ``"disk"`` or ``None`` on a full miss."""
+        result = self.hot.get(key)
+        if result is not None:
+            with self._lock:
+                self.hot_hits += 1
+            return result, "hot"
+        if self.disk is not None:
+            result = self.disk.get(key)
+            if result is not None:
+                self.hot.put(key, result)
+                with self._lock:
+                    self.disk_hits += 1
+                return result, "disk"
+        with self._lock:
+            self.misses += 1
+        return None, None
+
+    def put(self, key: str, result: SimResult) -> None:
+        if self.disk is not None:
+            self.disk.put(key, result)
+        self.hot.put(key, result)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            tiers = {
+                "hot_hits": self.hot_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+            }
+        payload: Dict[str, object] = dict(tiers)
+        payload["hot"] = self.hot.stats()
+        payload["disk"] = (
+            None
+            if self.disk is None
+            else {"root": str(self.disk.root)}
+        )
+        return payload

@@ -63,6 +63,8 @@ PARITY_FIELDS = (
 class EngineMismatchError(ReproError):
     """Cross-validation found fast/reference counters disagreeing."""
 
+    code = "engine-mismatch"
+
 
 class EngineRefusal(str):
     """Why the fast engine cannot run a simulation.

@@ -150,3 +150,87 @@ class TestAttribute:
         ) == 0
         out = capsys.readouterr().out
         assert "ref_id=" in out and "cover 90%" in out
+
+
+class TestErrorCodes:
+    """CLI failures carry the stable machine-readable error code."""
+
+    def test_config_error_code_on_engine_refusal(self, capsys):
+        assert main(
+            ["simulate", "--benchmark", "MV", "--config", "soft",
+             "--scale", "tiny", "--engine", "native"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error [config-error]:")
+        assert "native-assisted" in err
+
+    def test_trace_error_code_on_missing_file(self, capsys):
+        assert main(["simulate", "--trace", "/no/such/trace"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error [trace-error]:")
+
+
+class TestServeCLI:
+    def test_smoke_flag_runs_end_to_end(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["serve", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "serve smoke OK" in out
+
+    def test_no_cache_conflicts_with_cache_dir(self, capsys, tmp_path):
+        assert main(
+            ["serve", "--no-cache", "--cache-dir", str(tmp_path)]
+        ) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+
+class TestBenchServe:
+    def test_serve_scenario_writes_own_payload(self, tmp_path, capsys):
+        import json
+
+        serve_out = tmp_path / "BENCH_serve.json"
+        sim_out = tmp_path / "BENCH_sim.json"
+        assert main(
+            ["bench", "--scenario", "serve",
+             "--serve-requests", "80", "--serve-concurrency", "2",
+             "--serve-out", str(serve_out), "--out", str(sim_out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "serve closed-loop" in text
+        payload = json.loads(serve_out.read_text())["serve"]
+        assert payload["completed"] == payload["requests"] == 80
+        assert payload["cpus"] >= 1
+        assert payload["concurrency"] == 2
+        assert 0.0 <= payload["hit_ratio_observed"] <= 1.0
+        assert payload["client_failures"] == []
+        assert payload["server_errors"] == 0
+        # serve is its own artifact: BENCH_sim.json must not be
+        # clobbered with an empty payload.
+        assert not sim_out.exists()
+
+    def test_serve_guard_enforces_floors(self, tmp_path):
+        from repro.harness.bench import serve_bench_guard
+
+        payload = {
+            "requests": 10, "completed": 10,
+            "server_errors": 0, "warm_cells": 4, "client_failures": [],
+            "served": {"hot": 9, "disk": 0, "simulated": 1, "coalesced": 0},
+            "simulations": 5, "hit_rps": 50.0, "hit_p99_ms": 100.0,
+        }
+        assert serve_bench_guard(dict(payload), None, None) == []
+        problems = serve_bench_guard(dict(payload), 500.0, 1.0)
+        assert len(problems) == 2  # throughput floor + latency ceiling
+        relaxed = dict(payload, insufficient_cpus=True)
+        assert serve_bench_guard(relaxed, 500.0, 1.0) == []
+
+    def test_serve_guard_catches_dedup_violations(self):
+        from repro.harness.bench import serve_bench_guard
+
+        payload = {
+            "requests": 10, "completed": 10,
+            "server_errors": 0, "warm_cells": 4, "client_failures": [],
+            "served": {"hot": 8, "disk": 0, "simulated": 1, "coalesced": 0},
+            "simulations": 9,  # re-simulated cached cells
+        }
+        problems = serve_bench_guard(payload, None, None)
+        assert any("simulat" in p for p in problems)

@@ -332,7 +332,7 @@ class TestCacheKeyEngine:
         cells = [(trace, CacheSpec.of("standard_cache"))]
         store = ResultCache(tmp_path)
         run_cells(cells, cache=store, engine="reference")
-        for entry in tmp_path.glob("*/*.json"):
+        for entry in tmp_path.rglob("*.json"):
             payload = json.loads(entry.read_text())
             del payload["engine"]
             entry.write_text(json.dumps(payload))

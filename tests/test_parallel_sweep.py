@@ -118,7 +118,7 @@ class TestResultCache:
         traces = _suite(n_traces=1)
         store = ResultCache(tmp_path)
         run_sweep(traces, {"s": CONFIGS["Standard"]}, cache=store)
-        for entry in tmp_path.glob("*/*.json"):
+        for entry in tmp_path.glob("*/*/*.json"):
             entry.write_text("{not json")
         probe = ResultCache(tmp_path)
         sweep = run_sweep(traces, {"s": CONFIGS["Standard"]}, cache=probe)
@@ -154,13 +154,13 @@ class TestCachePrune:
 
         store = ResultCache(tmp_path)
         run_sweep(_suite(n_traces=1), CONFIGS, cache=store)
-        entries = sorted(tmp_path.glob("*/*.json"))
+        entries = sorted(tmp_path.glob("*/*/*.json"))
         assert len(entries) == 3
         for age, entry in zip((300, 200, 100), entries):
             os.utime(entry, (1_000_000 - age, 1_000_000 - age))
         keep = entries[2].stat().st_size  # newest entry
         store.prune(keep)
-        survivors = set(tmp_path.glob("*/*.json"))
+        survivors = set(tmp_path.glob("*/*/*.json"))
         assert survivors == {entries[2]}
 
     def test_get_refreshes_mtime_for_lru(self, tmp_path):
@@ -169,7 +169,7 @@ class TestCachePrune:
         traces = _suite(n_traces=1)
         store = ResultCache(tmp_path)
         run_sweep(traces, {"s": CONFIGS["Standard"]}, cache=store)
-        (entry,) = tmp_path.glob("*/*.json")
+        (entry,) = tmp_path.glob("*/*/*.json")
         os.utime(entry, (1, 1))
         from repro.sim.engine import resolve_engine
 

@@ -314,7 +314,7 @@ class TestSweepTelemetry:
         )
         # One shared cache entry: the probed run re-simulated (to write
         # its artifact) but keyed the result identically.
-        assert len(list((cache_dir).glob("*/*.json"))) == 1
+        assert len(list((cache_dir).glob("*/*/*.json"))) == 1
         assert plain.results["tel"]["std"] == probed.results["tel"]["std"]
 
     def test_cached_result_still_regenerates_missing_artifact(
