@@ -37,12 +37,13 @@ bench
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Dict, List, Optional
 
 from .core.spec import CacheSpec
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .harness.parallel import ResultCache, cache_enabled, default_cache_dir
 from .harness.runner import run_sweep
 from .harness.tables import format_table
@@ -394,6 +395,116 @@ def _parser() -> argparse.ArgumentParser:
         help="prune target: LRU-evict entries until the cache fits "
         "(plain bytes or a K/M/G suffix, e.g. 512M)",
     )
+
+    verify = sub.add_parser(
+        "verify",
+        help="validate the engine ladder (parity battery; --oracle adds "
+        "the closed-form analytic leg, see docs/performance.md)",
+    )
+    verify.add_argument(
+        "--oracle", action="store_true",
+        help="check every engine tier against the analytic miss-rate/"
+        "AMAT oracle on synthetic distributions (exact on scan/blocked, "
+        "concentration bounds on IRM)",
+    )
+    verify.add_argument(
+        "--dist", action="append", default=None, metavar="NAME",
+        help="oracle distribution(s) to run (irm, scan, blocked; "
+        "default: all; repeatable)",
+    )
+    verify.add_argument(
+        "--config", action="append", default=None, metavar="PRESET",
+        help="preset(s) to verify (default: standard + soft; repeatable)",
+    )
+    verify.add_argument(
+        "--refs", type=int, default=60000, metavar="N",
+        help="approximate trace length per distribution (default 60000)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, help="IRM generation seed"
+    )
+    verify.add_argument(
+        "--tol", type=float, default=1.0, metavar="F",
+        help="scale factor on the statistical (IRM) tolerance bands; "
+        "deterministic distributions stay exact (default 1.0)",
+    )
+    verify.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_out",
+        help="also write the per-tier rows as JSON",
+    )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="manage fingerprinted trace corpora (see docs/corpus.md)",
+    )
+    csub = corpus.add_subparsers(dest="corpus_command", required=True)
+    clist = csub.add_parser("list", help="list a corpus manifest")
+    clist.add_argument("manifest", help="corpus manifest (.json or .toml)")
+    clist.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    cadd = csub.add_parser(
+        "add", help="register an external trace or synthetic generator"
+    )
+    cadd.add_argument("manifest")
+    cadd.add_argument("name", help="entry name")
+    cadd.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="external din/bin trace file to register",
+    )
+    cadd.add_argument(
+        "--format", default=None, choices=("din", "bin"),
+        help="external trace format (default: sniff from extension)",
+    )
+    cadd.add_argument(
+        "--gap", type=int, default=1,
+        help="constant inter-reference gap recorded on ingest (default 1)",
+    )
+    cadd.add_argument(
+        "--annotate", action="store_true",
+        help="run the locality tag annotator on ingest",
+    )
+    cadd.add_argument(
+        "--generator", default=None, metavar="KIND",
+        help="synthetic generator from the oracle registry "
+        "(irm, scan, blocked) instead of --trace",
+    )
+    cadd.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="generator parameter (integer; repeatable), e.g. "
+        "--param n_lines=512 --param refs=60000",
+    )
+
+    cverify = csub.add_parser(
+        "verify", help="recompute fingerprints and audit fetched stores"
+    )
+    cverify.add_argument("manifest")
+    cverify.add_argument("names", nargs="*", help="entries (default: all)")
+    cverify.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    cfetch = csub.add_parser(
+        "fetch", help="materialise entries into chunked stores"
+    )
+    cfetch.add_argument("manifest")
+    cfetch.add_argument("names", nargs="*", help="entries (default: all)")
+    cfetch.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    crun = csub.add_parser(
+        "run", help="sweep every corpus entry against presets; "
+        "per-trace rows + geomean summary"
+    )
+    crun.add_argument("manifest")
+    crun.add_argument("presets", nargs="+", help="preset configuration names")
+    crun.add_argument("--cache-dir", default=None, metavar="DIR")
+    crun.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache (always re-simulate)",
+    )
+    crun.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the summary payload as JSON (default: stdout only)",
+    )
+    _add_jobs_argument(crun)
+    _add_engine_argument(crun)
     return parser
 
 
@@ -965,6 +1076,173 @@ def _cmd_cache(action: str, max_bytes: Optional[str] = None) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.oracle:
+        from .metrics.analytic import (
+            battery_distributions,
+            format_oracle_rows,
+            make_distribution,
+            verify_oracle,
+        )
+
+        if args.dist:
+            battery = battery_distributions(refs=args.refs, seed=args.seed)
+            unknown = [d for d in args.dist if d not in battery]
+            if unknown:
+                # Route through make_distribution for the canonical
+                # unknown-name error (lists the registry).
+                make_distribution(unknown[0])
+            dists = {name: battery[name] for name in args.dist}
+        else:
+            dists = None
+        rows = verify_oracle(
+            configs=args.config,
+            dists=dists,
+            refs=args.refs,
+            seed=args.seed,
+            tol=args.tol,
+        )
+        print(format_oracle_rows(rows))
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                json.dump(rows, handle, indent=2)
+                handle.write("\n")
+        return 0 if all(row["ok"] for row in rows) else 1
+
+    # Parity battery: cross-validate every applicable engine pair on a
+    # deterministic workload, per preset.
+    from .metrics.analytic import SequentialScanDistribution
+    from .presets import config_names, spec
+    from .sim.engine import EngineMismatchError, cross_validate, fast_refusal
+
+    names = args.config or list(config_names())
+    trace = SequentialScanDistribution(
+        array_bytes=32 * 1024, passes=3
+    ).trace()
+    failures = 0
+    for name in names:
+        cell = spec(name)
+        refusal = fast_refusal(cell.build())
+        if refusal is not None:
+            print(f"  {name:>16} skipped: [{refusal.code}] {refusal}")
+            continue
+        try:
+            cross_validate(cell.build, trace)
+        except EngineMismatchError as error:
+            failures += 1
+            print(f"  {name:>16} FAIL: {error}")
+        else:
+            print(f"  {name:>16} ok: engines agree on {trace.name}")
+    print(
+        "parity: all validated configurations agree"
+        if failures == 0
+        else f"parity: {failures} configuration(s) FAILED"
+    )
+    return 0 if failures == 0 else 1
+
+
+def _parse_generator_params(pairs: List[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ConfigError(
+                f"--param needs KEY=VALUE, got {pair!r}"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise ConfigError(
+                f"--param {key} must be an integer, got {value!r}"
+            ) from None
+    return params
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .stream.corpus import Corpus, run_corpus
+
+    command = args.corpus_command
+    if command == "add":
+        from pathlib import Path
+
+        if Path(args.manifest).is_file():
+            corpus = Corpus.load(args.manifest)
+        else:
+            corpus = Corpus(args.manifest)
+        if (args.trace is None) == (args.generator is None):
+            raise ConfigError(
+                "corpus add needs exactly one of --trace or --generator"
+            )
+        if args.trace is not None:
+            entry = corpus.add_external(
+                args.name, args.trace, fmt=args.format,
+                gap=args.gap, annotate=args.annotate,
+            )
+        else:
+            entry = corpus.add_synthetic(
+                args.name, args.generator,
+                **_parse_generator_params(args.param),
+            )
+        corpus.save()
+        print(
+            f"registered {entry.kind} entry {entry.name!r} "
+            f"(sha256 {entry.sha256[:12]}) in {corpus.path}"
+        )
+        return 0
+
+    corpus = Corpus.load(args.manifest)
+    if command == "list":
+        from .stream import is_store
+
+        print(f"corpus {corpus.name!r} ({len(corpus.entries)} entries)")
+        for name in sorted(corpus.entries):
+            entry = corpus.entries[name]
+            sha = (entry.sha256 or "?" * 12)[:12]
+            dest = corpus.store_dir(name, args.cache_dir)
+            state = "fetched" if is_store(dest) else "lazy"
+            detail = (
+                entry.payload.get("path")
+                if entry.kind == "external"
+                else entry.payload.get("generator")
+            )
+            print(f"  {name:>16} {entry.kind:<9} {sha} {state:<7} {detail}")
+        return 0
+    if command == "verify":
+        rows = corpus.verify(args.names or None, cache_root=args.cache_dir)
+        for row in rows:
+            state = "ok" if row["ok"] else "FAIL"
+            fetched = "fetched" if row["fetched"] else "lazy"
+            print(f"  {row['name']:>16} {row['kind']:<9} {fetched:<7} {state}")
+            for problem in row["problems"]:
+                print(f"      {problem}")
+        return 0 if all(row["ok"] for row in rows) else 1
+    if command == "fetch":
+        for name in args.names or sorted(corpus.entries):
+            store = corpus.fetch(name, cache_root=args.cache_dir)
+            print(
+                f"  {name:>16} -> {store.path} ({len(store)} refs, "
+                f"{store.n_chunks} chunks)"
+            )
+        return 0
+    if command == "run":
+        from .harness.bench import format_corpus_summary, write_bench
+
+        payload = run_corpus(
+            corpus,
+            args.presets,
+            jobs=args.jobs,
+            engine=args.engine,
+            cache=False if args.no_cache else "auto",
+            cache_root=args.cache_dir,
+        )
+        print(format_corpus_summary(payload))
+        if args.out:
+            write_bench(payload, args.out)
+            print(f"wrote {args.out}")
+        return 0
+    raise AssertionError(f"unhandled corpus command {command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     try:
@@ -1004,6 +1282,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_analyze(args)
         if args.command == "cache":
             return _cmd_cache(args.action, args.max_bytes)
+        if args.command == "verify":
+            return _cmd_verify(args)
+        if args.command == "corpus":
+            return _cmd_corpus(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as error:
         # Stable machine-readable code first (the same codes the serve

@@ -941,6 +941,29 @@ def write_bench(
             handle.write("\n")
 
 
+def format_corpus_summary(payload: Dict) -> str:
+    """Human-readable rendering of a ``repro corpus run`` payload."""
+    lines = [
+        f"corpus {payload['corpus']!r}: {len(payload['traces'])} traces x "
+        f"{len(payload['configs'])} configs"
+    ]
+    for row in payload["rows"]:
+        lines.append(
+            f"  {row['trace']:>16} x {row['config']:<10} "
+            f"[{row['engine'] or '?':>9}]  "
+            f"amat {row['amat']:7.3f}  miss {row['miss_ratio']:.4f}  "
+            f"traffic {row['traffic']:6.3f}  ({row['refs']} refs, "
+            f"fp {row['fingerprint'][:12]})"
+        )
+    for config, metrics in payload["geomean"].items():
+        rendered = "  ".join(
+            f"{name} {value:.4f}" if value is not None else f"{name} n/a"
+            for name, value in metrics.items()
+        )
+        lines.append(f"  geomean {config:<10} {rendered}")
+    return "\n".join(lines)
+
+
 def format_bench(payload: Dict) -> str:
     """Human-readable rendering of a bench payload."""
     lines = [

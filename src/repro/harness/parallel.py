@@ -100,6 +100,11 @@ def default_cache_dir() -> Path:
     return base / "repro" / "results"
 
 
+def _is_shard_dir(name: str) -> bool:
+    """True for the cache's own two-hex-digit fan-out directory names."""
+    return len(name) == 2 and all(c in "0123456789abcdef" for c in name)
+
+
 # ----------------------------------------------------------------------
 # Result serialisation (lossless: SimResult counters are ints)
 # ----------------------------------------------------------------------
@@ -220,13 +225,22 @@ class ResultCache:
         ``os.replace`` fail and silently drops the entry.  Concurrent
         *published* entries may still vanish between listing and use;
         callers tolerate ENOENT per entry.
+
+        Only the cache's own hex fan-out directories are enumerated:
+        the corpus manager registers trace stores under
+        ``<root>/corpus/`` (:func:`repro.stream.corpus.corpus_root`),
+        and their ``manifest.json`` files match the naive ``*/*/*.json``
+        glob — clearing or pruning must never reach into those.
         """
         if not self.root.is_dir():
             return
         # Both layouts: sharded (xx/yy/key.json) and legacy (xx/key.json).
         for pattern in ("*/*/*.json", "*/*.json"):
             for entry in self.root.glob(pattern):
-                if not entry.name.startswith("."):
+                if entry.name.startswith("."):
+                    continue
+                shards = entry.relative_to(self.root).parts[:-1]
+                if all(_is_shard_dir(part) for part in shards):
                     yield entry
 
     def clear(self) -> int:

@@ -1,11 +1,26 @@
 """Metrics: result records live in :mod:`repro.sim.result`; this package
-adds cross-benchmark aggregation."""
+adds cross-benchmark aggregation and the analytic oracle leg."""
 
 from ..sim.result import SimResult
+from .analytic import (
+    DISTRIBUTIONS,
+    AccessDistribution,
+    BlockedLoopDistribution,
+    IRMDistribution,
+    Interval,
+    OracleMismatch,
+    Prediction,
+    SequentialScanDistribution,
+    battery_distributions,
+    make_distribution,
+    oracle_check,
+    verify_oracle,
+)
 from .attribution import Attribution, InstructionProfile, attribute
 from .summary import (
     amat_improvement,
     geometric_mean,
+    geomean,
     miss_reduction,
     suite_summary,
     traffic_ratio,
@@ -17,8 +32,21 @@ __all__ = [
     "InstructionProfile",
     "attribute",
     "geometric_mean",
+    "geomean",
     "amat_improvement",
     "miss_reduction",
     "traffic_ratio",
     "suite_summary",
+    "AccessDistribution",
+    "IRMDistribution",
+    "SequentialScanDistribution",
+    "BlockedLoopDistribution",
+    "DISTRIBUTIONS",
+    "Interval",
+    "Prediction",
+    "OracleMismatch",
+    "battery_distributions",
+    "make_distribution",
+    "oracle_check",
+    "verify_oracle",
 ]

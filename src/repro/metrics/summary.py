@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Mapping, Sequence
+import warnings
+from typing import Dict, Iterable, Mapping, Optional
 
 from ..errors import ConfigError
 from ..sim.result import SimResult
@@ -16,6 +17,37 @@ def geometric_mean(values: Iterable[float]) -> float:
         raise ConfigError("geometric mean of an empty sequence")
     if any(v <= 0 for v in values):
         raise ConfigError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean(values: Iterable[float]) -> Optional[float]:
+    """Degeneracy-tolerant geometric mean for aggregate summary rows.
+
+    Corpus sweeps aggregate metrics that can legitimately be zero (a
+    fully-fitting trace has miss ratio 0) or absent; where
+    :func:`geometric_mean` raises on such inputs — the right contract
+    for the paper-figure pipeline, which should never see them — this
+    variant returns ``None`` and emits a :class:`RuntimeWarning`
+    instead, so one degenerate cell cannot abort a corpus-wide report.
+    Non-finite values are treated like non-positive ones.
+    """
+    values = [v for v in values if v is not None]
+    if not values:
+        warnings.warn(
+            "geomean of an empty sequence has no value",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    bad = [v for v in values if not math.isfinite(v) or v <= 0]
+    if bad:
+        warnings.warn(
+            f"geomean undefined over non-positive values {bad[:3]}"
+            f"{'...' if len(bad) > 3 else ''}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 

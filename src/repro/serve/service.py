@@ -279,14 +279,26 @@ class SimulationService:
             if not isinstance(seed, int) or isinstance(seed, bool):
                 raise ConfigError(f"trace seed must be an integer: {seed!r}")
             trace = get_trace(name, scale, seed)
+        elif "corpus" in ref:
+            from ..stream import TraceStream
+            from ..stream.corpus import Corpus
+
+            entry = ref.get("entry")
+            if not isinstance(entry, str):
+                raise ConfigError(
+                    "corpus trace objects need an 'entry' name: "
+                    '{"corpus": MANIFEST_PATH, "entry": NAME}'
+                )
+            corpus = Corpus.load(str(ref["corpus"]))
+            trace = TraceStream.from_store(corpus.fetch(entry))
         elif "path" in ref:
             from ..stream import open_trace
 
             trace = open_trace(str(ref["path"]))
         else:
             raise ConfigError(
-                "trace object needs 'benchmark' (+ optional scale/seed) "
-                "or 'path'"
+                "trace object needs 'benchmark' (+ optional scale/seed), "
+                "'corpus' (+ 'entry') or 'path'"
             )
         fingerprint = trace.fingerprint()
         self._traces[token] = (trace, fingerprint)
@@ -298,6 +310,8 @@ class SimulationService:
             scale = ref.get("scale", "test")
             seed = ref.get("seed", 0)
             return f"{ref['benchmark']}@{scale}#{seed}"
+        if "corpus" in ref:
+            return f"{ref['corpus']}::{ref.get('entry')}"
         return str(ref.get("path"))
 
     @staticmethod

@@ -232,7 +232,11 @@ def select_engine(
 
 
 def cross_validate(
-    build: Callable[[], object], trace, engine_result: str = "reference"
+    build: Callable[[], object],
+    trace=None,
+    engine_result: str = "reference",
+    oracle=None,
+    tol: float = 1.0,
 ) -> SimResult:
     """Run every applicable engine on fresh models and assert identical
     counters.
@@ -245,9 +249,23 @@ def cross_validate(
     :class:`EngineMismatchError` listing every differing counter per
     engine, or :class:`~repro.errors.ConfigError` when the
     configuration has no fast path to validate against.
+
+    ``oracle`` adds the analytic leg: pass a
+    :class:`~repro.metrics.analytic.AccessDistribution` and the
+    reference result is additionally checked against its closed-form
+    bounds via :func:`~repro.metrics.analytic.oracle_check` (``tol``
+    scales the statistical intervals), so the whole engine family is
+    validated against a model that never simulates.  ``trace`` may then
+    be omitted — the oracle's generated trace is used.
     """
     from .driver import simulate
 
+    if trace is None:
+        if oracle is None:
+            raise ConfigError(
+                "cross_validate needs a trace or an oracle distribution"
+            )
+        trace = oracle.trace()
     reference = simulate(build(), trace, engine="reference")
     others = {"fast": simulate(build(), trace, engine="fast")}
     if native_refusal(build()) is None:
@@ -264,6 +282,10 @@ def cross_validate(
             f"engines disagree on {reference.cache!r} x {trace.name!r}: "
             + "; ".join(mismatches)
         )
+    if oracle is not None:
+        from ..metrics.analytic import oracle_check
+
+        oracle_check(build(), oracle, reference, tol=tol)
     return others.get(engine_result, reference)
 
 

@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
-from ..memtrace.trace import WORD_SIZE
-
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import EngineRefusal
 
@@ -77,6 +75,18 @@ class SimResult:
     def traffic(self) -> float:
         """Words fetched from memory per reference (figure 7a)."""
         return self.words_fetched / self.refs if self.refs else 0.0
+
+    @property
+    def line_utilization(self) -> float:
+        """References served per word fetched from memory.
+
+        The counter-level proxy for the paper's line-utilization notion:
+        how much work each fetched word did.  ``1 / traffic``; 0.0 when
+        nothing was fetched.  The analytic oracle
+        (:mod:`repro.metrics.analytic`) predicts it in closed form on
+        synthetic distributions.
+        """
+        return self.refs / self.words_fetched if self.words_fetched else 0.0
 
     @property
     def main_hit_fraction(self) -> float:

@@ -57,6 +57,32 @@ class TestDinReader:
         blocks = list(iter_din_blocks(path))
         assert blocks[0]["addresses"].tolist() == [0x100, 0x108]
 
+    def test_skips_semicolon_comments_and_mixed_noise(self, tmp_path):
+        # Both comment conventions found in din files in the wild, plus
+        # indented comments and blank (whitespace-only) lines.
+        path = tmp_path / "t.din"
+        path.write_text(
+            "; dinero-style comment\n"
+            "# hash comment\n"
+            "0 100\n"
+            "   \n"
+            "  ; indented comment\n"
+            "1 108\n"
+            "\n"
+            "0 110\n"
+        )
+        blocks = list(iter_din_blocks(path))
+        assert blocks[0]["addresses"].tolist() == [0x100, 0x108, 0x110]
+        assert blocks[0]["is_write"].tolist() == [False, True, False]
+
+    def test_malformed_after_comments_cites_true_lineno(self, tmp_path):
+        # Line numbers must count skipped noise lines: the malformed
+        # record below sits on physical line 5.
+        path = tmp_path / "t.din"
+        path.write_text("# one\n; two\n\n0 100\njunk\n")
+        with pytest.raises(TraceError, match=":5"):
+            list(iter_din_blocks(path))
+
     def test_blocks_split_at_block_refs(self, tmp_path):
         path = tmp_path / "t.din"
         write_din(path, [(0, 8 * i) for i in range(10)])

@@ -7,6 +7,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.metrics import (
     amat_improvement,
+    geomean,
     geometric_mean,
     miss_reduction,
     suite_summary,
@@ -36,6 +37,37 @@ class TestGeometricMean:
     def test_nonpositive_rejected(self):
         with pytest.raises(ConfigError):
             geometric_mean([1.0, 0.0])
+
+
+class TestLenientGeomean:
+    """Corpus summaries aggregate degenerate cells: warn, never raise."""
+
+    def test_matches_strict_on_good_input(self):
+        assert geomean([2, 8]) == pytest.approx(geometric_mean([2, 8]))
+
+    def test_empty_warns_and_returns_none(self):
+        with pytest.warns(RuntimeWarning, match="empty"):
+            assert geomean([]) is None
+
+    def test_zero_warns_and_returns_none(self):
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geomean([1.0, 0.0]) is None
+
+    def test_negative_and_nonfinite_warn(self):
+        with pytest.warns(RuntimeWarning):
+            assert geomean([1.0, -2.0]) is None
+        with pytest.warns(RuntimeWarning):
+            assert geomean([1.0, math.inf]) is None
+        with pytest.warns(RuntimeWarning):
+            assert geomean([1.0, math.nan]) is None
+
+    def test_none_values_are_dropped(self):
+        assert geomean([2.0, None, 8.0]) == pytest.approx(4.0)
+        with pytest.warns(RuntimeWarning, match="empty"):
+            assert geomean([None, None]) is None
+
+    def test_accepts_generators(self):
+        assert geomean(v for v in [3.0]) == pytest.approx(3.0)
 
 
 class TestComparisons:
